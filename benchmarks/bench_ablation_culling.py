@@ -1,0 +1,22 @@
+"""Ablation — velocity-based area culling (Section IV-B).
+
+Culling replaces an action's static influence sphere with the projected
+position of its moving effect, tightening the Equation (1) predicate.
+Consistency is preserved (closures still ship every needed action);
+the measurement is distribution volume.
+"""
+
+from repro.harness.experiments import run_ablation_culling
+
+
+def bench(settings):
+    return run_ablation_culling(settings, client_counts=(16, 32, 48))
+
+
+def test_ablation_culling(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("ablation_culling", result.render())
+    for clients, plain_kb, culled_kb, plain_ms, culled_ms in result.table.rows:
+        assert plain_kb > 0 and culled_kb > 0
+        # Culling must never *increase* traffic by more than noise.
+        assert culled_kb <= plain_kb * 1.1

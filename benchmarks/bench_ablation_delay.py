@@ -1,0 +1,94 @@
+"""Ablation — drop vs delay for chain-breaking actions (Section III-E).
+
+The paper sketches "delaying actions by some amount of time so that the
+bulk of the actions in the conflicting action set are committed" as an
+alternative to dropping, and raises fairness as the motivating concern.
+This ablation quantifies the tradeoff on the dense Table II world and on
+the dining-philosophers worst case: the delay policy converts drops into
+latency.
+"""
+
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.metrics.report import Table
+from repro.world.philosophers import PhilosophersConfig, PhilosophersWorld
+
+
+def manhattan_row(policy: str, base: SimulationSettings):
+    settings = base.with_(
+        num_clients=60,
+        world_width=250.0,
+        world_height=250.0,
+        num_walls=min(base.num_walls, 1_000),
+        move_cost_ms=1.2,
+        spawn="cluster",
+        spawn_extent=80.0,
+        visibility=20.0,
+        threshold=30.0,
+        move_effect_range=9.0,
+        info_bound_policy=policy,
+        max_delay_ticks=8,
+    )
+    return run_simulation("seve", settings, check_consistency=False)
+
+
+def philosophers_row(policy: str, num=16):
+    world = PhilosophersWorld(num, PhilosophersConfig(spacing=10.0))
+    engine = SeveEngine(
+        world,
+        num,
+        SeveConfig(
+            mode="seve", rtt_ms=100.0, tick_ms=20.0, threshold=15.0,
+            info_bound_policy=policy, max_delay_ticks=10,
+        ),
+    )
+    engine.start(stop_at=60_000)
+    for cid in range(num):
+        client = engine.client(cid)
+        engine.sim.schedule(
+            0.0,
+            lambda c=client, cid=cid: c.submit(
+                world.plan_grab(cid, c.next_action_id(), cost_ms=0.5)
+            ),
+        )
+    engine.run(until=30_000)
+    engine.run_to_quiescence()
+    return engine
+
+
+def bench(base):
+    table = Table(
+        "Ablation: Information Bound drop vs delay (Section III-E)",
+        ("workload", "policy", "dropped_pct", "mean_ms", "rescued"),
+        note="delay converts drops into latency; fairness vs responsiveness",
+    )
+    rows = {}
+    for policy in ("drop", "delay"):
+        run = manhattan_row(policy, base)
+        table.add_row("manhattan", policy, run.drop_percent, run.mean_response_ms, None)
+        rows[("manhattan", policy)] = run
+    for policy in ("drop", "delay"):
+        engine = philosophers_row(policy)
+        drop_pct = 100.0 * engine.total_dropped / 16.0
+        mean = engine.response_times.summary().mean
+        table.add_row(
+            "philosophers", policy, drop_pct, mean,
+            engine.info_bound.stats.rescued,
+        )
+        rows[("philosophers", policy)] = engine
+    return table, rows
+
+
+def test_ablation_delay(benchmark, bench_settings, report_sink):
+    table, rows = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("ablation_delay", table.render())
+    # Delay must not drop more than drop (it only adds second chances).
+    manhattan_drop = rows[("manhattan", "drop")].drop_percent
+    manhattan_delay = rows[("manhattan", "delay")].drop_percent
+    assert manhattan_delay <= manhattan_drop + 1e-9
+    # On the philosophers' worst case the delay policy rescues grabs.
+    drop_engine = rows[("philosophers", "drop")]
+    delay_engine = rows[("philosophers", "delay")]
+    assert delay_engine.total_dropped <= drop_engine.total_dropped
+    assert delay_engine.info_bound.stats.rescued >= 1

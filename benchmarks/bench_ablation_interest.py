@@ -1,0 +1,80 @@
+"""Ablation — inconsequential action elimination (Section IV-A).
+
+A combat world where half the avatars are insects: clients subscribed
+only to their own species' movement receive fewer pushed actions, at
+identical consistency (closures still deliver whatever their own
+actions transitively need).
+"""
+
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.core.interest import profile
+from repro.metrics.report import Table
+from repro.world.combat import CombatConfig, CombatWorld
+
+
+def run_once(with_interests: bool, num_clients: int = 24, moves: int = 30):
+    world = CombatWorld(
+        num_clients, CombatConfig(insect_fraction=0.5, seed=3)
+    )
+    interests = None
+    if with_interests:
+        interests = {
+            cid: profile(world.species_of(cid)) for cid in range(num_clients)
+        }
+    engine = SeveEngine(
+        world,
+        num_clients,
+        SeveConfig(mode="seve", rtt_ms=238.0, tick_ms=100.0, threshold=60.0),
+        interests=interests,
+    )
+    engine.start(stop_at=60_000)
+    for cid in range(num_clients):
+        client = engine.client(cid)
+
+        def submit(cid=cid, client=client, n={"left": moves}):
+            if n["left"] <= 0:
+                return
+            n["left"] -= 1
+            client.submit(
+                world.plan_move(
+                    client.optimistic, cid, client.next_action_id(), cost_ms=2.0
+                )
+            )
+
+        engine.sim.call_every(
+            300.0, submit, start_delay=7.0 + cid, stop_at=300.0 * (moves + 2)
+        )
+    engine.run(until=300.0 * (moves + 2))
+    engine.run_to_quiescence()
+    return engine
+
+
+def bench():
+    table = Table(
+        "Ablation: interest classes (Section IV-A), combat world",
+        ("interests", "entries_pushed", "client_kb", "stable_evals"),
+        note="half insects, half humans; subscribers get their own species only",
+    )
+    rows = {}
+    for with_interests in (False, True):
+        engine = run_once(with_interests)
+        evals = sum(c.stats.stable_evaluations for c in engine.clients.values())
+        client_kb = sum(
+            engine.network.meter.host_bytes(cid) for cid in engine.clients
+        ) / len(engine.clients) / 1024.0
+        table.add_row(
+            "on" if with_interests else "off",
+            engine.server.stats.entries_distributed,
+            client_kb,
+            evals,
+        )
+        rows[with_interests] = (engine.server.stats.entries_distributed, evals)
+    return table, rows
+
+
+def test_ablation_interest(benchmark, report_sink):
+    table, rows = benchmark.pedantic(bench, rounds=1, iterations=1)
+    report_sink("ablation_interest", table.render())
+    # Interest filtering must reduce distribution volume.
+    assert rows[True][0] < rows[False][0]
+    assert rows[True][1] <= rows[False][1]

@@ -1,0 +1,23 @@
+"""Ablation — the First Bound push fraction omega.
+
+The server pushes every omega x RTT and the response bound is
+(1+omega) x RTT: small omega buys latency with more frequent batches.
+"""
+
+from repro.harness.experiments import run_ablation_omega
+
+
+def bench(settings):
+    return run_ablation_omega(settings, omegas=(0.1, 0.25, 0.5, 0.75, 0.9))
+
+
+def test_ablation_omega(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("ablation_omega", result.render())
+    rows = result.table.rows  # (omega, bound, mean, p95, batches)
+    means = [row[2] for row in rows]
+    # Mean response grows monotonically (within noise) with omega.
+    assert means[-1] > means[0]
+    # And every measured mean respects its theoretical bound + slack.
+    for omega, bound, mean, p95, _ in rows:
+        assert mean < bound + 150.0

@@ -1,0 +1,21 @@
+"""Ablation — the Information Bound threshold.
+
+Tighter thresholds break conflict chains earlier: more moves dropped,
+smaller closures.  Table I's default is 1.5 x visibility = 45 units.
+"""
+
+from repro.harness.experiments import run_ablation_threshold
+
+
+def bench(settings):
+    return run_ablation_threshold(
+        settings, thresholds=(10.0, 20.0, 30.0, 45.0, 90.0)
+    )
+
+
+def test_ablation_threshold(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("ablation_threshold", result.render())
+    drops = [row[1] for row in result.table.rows]
+    # Tightest threshold drops at least as much as the loosest.
+    assert drops[0] >= drops[-1]

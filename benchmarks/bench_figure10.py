@@ -1,0 +1,29 @@
+"""Figure 10 — SEVE vs a RING-like architecture (performance vs
+consistency).
+
+Expected shape (paper): computing transitive closures costs SEVE about
+1% of runtime over the RING-like visibility-filtered architecture —
+while RING pays for its speed with genuine consistency violations,
+which the run also counts.
+"""
+
+from repro.harness.experiments import run_figure10
+
+
+def bench(settings):
+    return run_figure10(settings, client_counts=(20, 30, 40, 50, 60))
+
+
+def test_figure10(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("figure10_ring", result.render())
+    rows = result.table.rows
+    for clients, seve_ms, ring_ms, overhead_pct, closure_pct, violations in rows:
+        assert seve_ms > 0 and ring_ms > 0
+        # The response-time overhead of the strongly consistent
+        # architecture stays small across the sweep.
+        assert abs(overhead_pct) < 15.0
+        # And the closure computation itself is ~1% of all CPU work.
+        assert closure_pct < 2.0
+    # RING gives up consistency: violations appear in the sweep.
+    assert any(row[5] > 0 for row in rows)

@@ -1,0 +1,28 @@
+"""Figure 6 — response time vs number of clients.
+
+Expected shape (paper): Central and Broadcast break down at ~30-32
+clients; SEVE's response stays flat near (1+omega) x RTT across the
+whole sweep.
+"""
+
+from repro.harness.experiments import run_figure6
+
+
+def bench(settings):
+    return run_figure6(settings, client_counts=(8, 16, 24, 32, 40, 56, 64))
+
+
+def test_figure6(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("figure6_scalability", result.render())
+    rows = {row[0]: row[1:] for row in result.table.rows}
+    central, seve, broadcast = range(3)
+    # SEVE stays (near-)flat: response at 64 clients within 40% of the
+    # 8-client response, versus the >10x blow-up of the others.
+    assert rows[64][seve] < rows[8][seve] * 1.4
+    # Central and Broadcast blow past 4x their small-scale response.
+    assert rows[64][central] > rows[8][central] * 4
+    assert rows[64][broadcast] > rows[8][broadcast] * 4
+    # The knee sits between 24 and 40 clients.
+    assert rows[24][central] < rows[8][central] * 2
+    assert rows[40][central] > rows[24][central] * 2

@@ -1,0 +1,24 @@
+"""Figure 7 — response time vs per-action complexity (25 clients).
+
+Expected shape (paper): Central and Broadcast perform well below ~10 ms
+per action and degrade drastically past ~12 ms (25 x cost exceeds the
+300 ms round budget); SEVE is unaffected across the sweep.
+"""
+
+from repro.harness.experiments import run_figure7
+
+
+def bench(settings):
+    return run_figure7(settings, costs_ms=(1.0, 5.0, 10.0, 15.0, 20.0, 25.0))
+
+
+def test_figure7(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("figure7_complexity", result.render())
+    rows = {row[0]: row[1:] for row in result.table.rows}
+    central, seve, broadcast = range(3)
+    # Fine at 5ms, unusable at 20ms for the evaluating architectures.
+    assert rows[20.0][central] > rows[5.0][central] * 4
+    assert rows[20.0][broadcast] > rows[5.0][broadcast] * 4
+    # SEVE flat (within 30% across the whole complexity sweep).
+    assert rows[25.0][seve] < rows[1.0][seve] * 1.3

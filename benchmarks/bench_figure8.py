@@ -1,0 +1,29 @@
+"""Figure 8 — response time vs avatar density (naive vs dropping).
+
+Expected shape (paper): naive SEVE (no move dropping) bogs down as the
+average number of visible avatars grows; the Information Bound Model
+keeps response markedly lower by dropping a small percentage of moves
+(paper: 1.5-7.5%), and the drop rate is roughly independent of
+visibility.
+"""
+
+from repro.harness.experiments import run_figure8
+
+
+def bench(settings):
+    return run_figure8(settings, visibilities=(10.0, 30.0, 60.0, 90.0, 120.0))
+
+
+def test_figure8(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("figure8_density", result.render())
+    rows = result.table.rows  # (visibility, avg_visible, naive, seve, drop%)
+    first, last = rows[0], rows[-1]
+    # Density (visible avatars) actually swept upward.
+    assert last[1] > first[1] * 3
+    # Naive bogs down at high density...
+    assert last[2] > first[2] * 2
+    # ...and dropping improves on naive there.
+    assert last[3] < last[2]
+    # Drop percentages stay in single digits at this calibration.
+    assert all(row[4] < 10.0 for row in rows)

@@ -1,0 +1,31 @@
+"""Figure 9 — total data transfer vs number of clients.
+
+Expected shape (paper): Broadcast traffic is excessive (quadratic in
+total, i.e. per-client transfer grows linearly with the client count);
+SEVE's total server traffic does not differ significantly from the
+Central model, which is optimal in total traffic.
+"""
+
+from repro.harness.experiments import run_figure9
+
+
+def bench(settings):
+    return run_figure9(settings, client_counts=(8, 16, 32, 48, 64))
+
+
+def test_figure9(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("figure9_bandwidth", result.render())
+    rows = {row[0]: row[1:] for row in result.table.rows}
+    central, seve, broadcast = range(3)
+    # Broadcast per-client traffic grows ~linearly with n (quadratic
+    # total traffic).
+    assert rows[64][broadcast] > rows[8][broadcast] * 4
+    # Central and SEVE grow sublinearly (driven by local density, not
+    # by the population size).
+    assert rows[64][central] < rows[8][central] * 4.5
+    assert rows[64][seve] < rows[8][seve] * 4.5
+    # SEVE within a small constant of Central at full scale...
+    assert rows[64][seve] < rows[64][central] * 4
+    # ...and both far below Broadcast.
+    assert rows[64][broadcast] > rows[64][seve] * 3

@@ -1,0 +1,69 @@
+"""Section VII (future work) — hybrid P2P/client-server fan-out.
+
+The server keeps all control-plane duties; bulk push distribution rides
+relay peers with per-group deduplication.  The measurement: server
+egress vs the latency surcharge, against plain SEVE on the same
+workload.
+"""
+
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.metrics.report import Table
+from repro.types import SERVER_ID
+
+
+def bench(base: SimulationSettings):
+    settings = base.with_(
+        num_clients=32,
+        num_walls=min(base.num_walls, 2_000),
+        spawn_extent=120.0,
+    )
+    table = Table(
+        "Hybrid P2P fan-out (Section VII): server egress vs latency",
+        ("architecture", "server_egress_kb", "total_kb", "mean_ms", "p95_ms"),
+        note="relay groups of 4, dedup'd bundles; consistency unchanged",
+    )
+    runs = {}
+    for architecture in ("seve", "seve-hybrid"):
+        run = run_simulation(architecture, settings, check_consistency=True)
+        runs[architecture] = run
+        table.add_row(
+            architecture,
+            None,  # filled below from the raw run
+            run.total_traffic_kb,
+            run.mean_response_ms,
+            run.response.p95,
+        )
+    return table, runs, settings
+
+
+def test_hybrid_fanout(benchmark, bench_settings, report_sink):
+    table, runs, settings = benchmark.pedantic(
+        bench, args=(bench_settings,), rounds=1, iterations=1
+    )
+    # Fill the egress column from the runs (metered per host).
+    # run_simulation does not expose the meter, so re-derive from totals:
+    # server egress = total server-sent bytes; approximate via traffic
+    # difference is fragile — rerun cheaply instead at small scale.
+    from repro.harness.architectures import build_engine, build_world
+    from repro.harness.workload import MoveWorkload
+
+    egress = {}
+    for architecture in ("seve", "seve-hybrid"):
+        world = build_world(settings)
+        engine = build_engine(architecture, settings, world)
+        workload = MoveWorkload(engine, world, settings)
+        engine.start()
+        workload.install()
+        engine.run(until=settings.workload_duration_ms + 600)
+        engine.run_to_quiescence(max_extra_ms=settings.drain_ms)
+        egress[architecture] = engine.network.meter.bytes_sent[SERVER_ID] / 1024.0
+    for row, architecture in zip(table.rows, ("seve", "seve-hybrid")):
+        row[1] = egress[architecture]
+    report_sink("hybrid_fanout", table.render())
+    # Egress drops...
+    assert egress["seve-hybrid"] < egress["seve"] * 0.8
+    # ...consistency holds...
+    assert runs["seve-hybrid"].consistency.consistent
+    # ...and the latency surcharge stays bounded.
+    assert runs["seve-hybrid"].mean_response_ms < runs["seve"].mean_response_ms * 2.5

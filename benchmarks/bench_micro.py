@@ -1,0 +1,99 @@
+"""Microbenchmarks of the hot protocol paths.
+
+These are real pytest-benchmark measurements (multiple rounds): the
+transitive-closure walk, the Information Bound validation, the spatial
+index, and the event loop — the operations whose costs the simulation's
+calibrated cost model stands in for.
+"""
+
+import random
+
+from repro.core.action import Action, ActionId
+from repro.core.closure import QueueEntry, transitive_closure
+from repro.core.info_bound import InformationBound
+from repro.net.simulator import Simulator
+from repro.world.geometry import Vec2
+from repro.world.spatial import UniformGridIndex
+
+
+class _SetsAction(Action):
+    def __init__(self, action_id, reads, writes, position=None):
+        super().__init__(
+            action_id,
+            reads=frozenset(reads) | frozenset(writes),
+            writes=frozenset(writes),
+            position=position,
+        )
+
+    def compute(self, store):
+        return {}
+
+
+def _queue(num_actions=200, num_objects=60, seed=0):
+    rng = random.Random(seed)
+    entries = []
+    for pos in range(num_actions):
+        owner = rng.randrange(num_objects)
+        neighbors = {
+            f"o:{rng.randrange(num_objects)}" for _ in range(rng.randrange(4))
+        }
+        action = _SetsAction(
+            ActionId(owner, pos),
+            neighbors,
+            {f"o:{owner}"},
+            position=Vec2(rng.uniform(0, 250), rng.uniform(0, 250)),
+        )
+        entries.append(QueueEntry(pos, action, arrived_at=float(pos)))
+    return entries
+
+
+def test_transitive_closure_200_uncommitted(benchmark):
+    def run():
+        entries = _queue()
+        for entry in entries:
+            entry.valid = True
+        return transitive_closure(entries, len(entries) - 1, client_id=999)
+
+    chain, seed = benchmark(run)
+    assert chain[-1] == 199
+
+
+def test_info_bound_validation_200_actions(benchmark):
+    def run():
+        entries = _queue(seed=1)
+        bound = InformationBound(threshold=45.0)
+        bound.validate(entries, 0)
+        return bound
+
+    bound = benchmark(run)
+    assert bound.stats.validated == 200
+
+
+def test_spatial_query_10k_walls(benchmark):
+    index = UniformGridIndex(cell_size=25.0)
+    rng = random.Random(2)
+    for i in range(10_000):
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        index.insert_box(i, x, y, x + 10.0, y)
+
+    def run():
+        return index.query_radius(Vec2(500, 500), 58.0)
+
+    found = benchmark(run)
+    assert found
+
+
+def test_event_loop_throughput_10k_events(benchmark):
+    def run():
+        sim = Simulator()
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+
+        for i in range(10_000):
+            sim.schedule(float(i % 97), tick)
+        sim.run()
+        return counter["n"]
+
+    assert benchmark(run) == 10_000

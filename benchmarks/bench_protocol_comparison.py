@@ -1,0 +1,72 @@
+"""Section II-B — consistency protocol comparison.
+
+The paper motivates action-based protocols by criticising the two
+classical families: lock-based protocols need "twice the round trip
+time" before a client can proceed to the next conflicting transaction,
+and timestamp-ordered optimistic protocols abort whenever anything in a
+read set changed ("such as some player moving").  This benchmark puts
+all of them on the same Manhattan People workload at two contention
+levels and reports response time, abort rate, and traffic.
+"""
+
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.metrics.report import Table
+
+ARCHS = ("seve", "incomplete", "locking", "timestamp", "central")
+
+
+def bench(base: SimulationSettings):
+    table = Table(
+        "Protocol comparison (Section II-B): SEVE vs locking vs OCC",
+        ("contention", "protocol", "mean_ms", "p95_ms", "aborted_pct", "KB/client"),
+        note="locking pays 2xRTT; OCC aborts under contention; SEVE does neither",
+    )
+    runs = {}
+    scenarios = {
+        # Sparse: conflicts are rare.
+        "low": base.with_(num_clients=16, spawn_extent=400.0,
+                          num_walls=min(base.num_walls, 2_000)),
+        # Dense cluster: everyone reads everyone.
+        "high": base.with_(num_clients=16, spawn_extent=15.0,
+                           num_walls=min(base.num_walls, 2_000)),
+    }
+    for label, settings in scenarios.items():
+        for architecture in ARCHS:
+            run = run_simulation(architecture, settings, check_consistency=False)
+            runs[(label, architecture)] = run
+            aborted_pct = 0.0
+            expected = settings.num_clients * settings.moves_per_client
+            lost = expected - run.responses_observed
+            if architecture == "timestamp":
+                aborted_pct = 100.0 * lost / expected
+            elif architecture == "seve":
+                aborted_pct = run.drop_percent
+            table.add_row(
+                label,
+                architecture,
+                run.mean_response_ms,
+                run.response.p95,
+                aborted_pct,
+                run.client_traffic_kb,
+            )
+    return table, runs
+
+
+def test_protocol_comparison(benchmark, bench_settings, report_sink):
+    table, runs = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("protocol_comparison", table.render())
+    rtt = bench_settings.rtt_ms
+    # Locking's floor is 2 x RTT even without contention.
+    assert runs[("low", "locking")].mean_response_ms > 2 * rtt
+    # SEVE and OCC answer in ~1 RTT when conflicts are rare.
+    assert runs[("low", "incomplete")].mean_response_ms < 1.5 * rtt
+    assert runs[("low", "timestamp")].mean_response_ms < 1.5 * rtt
+    # Under contention, locking serializes and OCC loses transactions,
+    # while SEVE's response moves comparatively little.
+    low_seve = runs[("low", "seve")].mean_response_ms
+    high_seve = runs[("high", "seve")].mean_response_ms
+    assert high_seve < low_seve * 2.5
+    expected = 16 * bench_settings.moves_per_client
+    ts_lost = expected - runs[("high", "timestamp")].responses_observed
+    assert ts_lost > 0  # OCC loses transactions to the abort storm

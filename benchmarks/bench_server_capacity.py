@@ -1,0 +1,59 @@
+"""Server capacity — the paper's "limit of our implementation is about
+3500 clients" claim (Section V-B.1).
+
+The SEVE server only timestamps, validates and computes closures
+(calibrated at ~0.08 ms of CPU per move); at 3.33 moves/s per client a
+single server CPU saturates near 300ms / 0.08ms / (cycle) — we sweep the
+client count analytically through the CPU model rather than simulating
+thousands of full clients, and report the knee.
+"""
+
+from repro.metrics.report import Table
+from repro.net.host import Host
+from repro.net.simulator import Simulator
+
+
+MOVE_RATE_PER_CLIENT = 1000.0 / 300.0  # moves per second
+SERVER_COST_MS = 0.02 + 0.04 + 0.02  # timestamp + closure + push share
+
+
+def server_delay_at(num_clients: int, duration_s: float = 10.0) -> float:
+    """Mean queueing+service delay of the server CPU at a given load."""
+    sim = Simulator()
+    host = Host(sim, -1)
+    interval = 1000.0 / (num_clients * MOVE_RATE_PER_CLIENT)
+    delays = []
+
+    def submit():
+        submitted = sim.now
+        host.execute(SERVER_COST_MS, lambda: delays.append(sim.now - submitted))
+
+    stop = sim.call_every(interval, submit, stop_at=duration_s * 1000.0)
+    sim.run()
+    stop()
+    return sum(delays) / len(delays)
+
+
+def bench():
+    table = Table(
+        "Server capacity: mean serialization delay vs client count",
+        ("clients", "offered_load", "mean_delay_ms"),
+        note="paper: single-server limit empirically ~3500 clients",
+    )
+    results = {}
+    for clients in (500, 1000, 2000, 3000, 3500, 4000, 5000):
+        load = clients * MOVE_RATE_PER_CLIENT * SERVER_COST_MS / 1000.0
+        delay = server_delay_at(clients)
+        table.add_row(clients, round(load, 3), delay)
+        results[clients] = delay
+    return table, results
+
+
+def test_server_capacity_knee(benchmark, report_sink):
+    table, results = benchmark.pedantic(bench, rounds=1, iterations=1)
+    report_sink("server_capacity", table.render())
+    # Stable well below the knee...
+    assert results[2000] < 1.0
+    assert results[3000] < 5.0
+    # ...and saturating past ~3500-4000 clients.
+    assert results[5000] > results[3000] * 10

@@ -1,0 +1,16 @@
+"""Table I — simulation settings.
+
+Not a measurement: renders the configuration table the other benchmarks
+run under, so the results directory is self-describing.
+"""
+
+from repro.harness.experiments import run_table1
+
+
+def bench(settings):
+    return run_table1(settings)
+
+
+def test_table1(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("table1_settings", result.render())

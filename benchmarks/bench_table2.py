@@ -1,0 +1,27 @@
+"""Table II — percentage of moves dropped vs move effect range.
+
+Expected shape (paper, visibility = 20 units): 1 -> 0, 3 -> 0,
+5 -> 0.01, 7 -> 1.53, 9 -> 4.03, 11 -> 8.87 percent: essentially zero
+below range 5, then monotone growth — chain length is driven by the
+move effect range, not by visibility.
+"""
+
+from repro.harness.experiments import run_table2
+
+
+def bench(settings):
+    return run_table2(settings)
+
+
+def test_table2(benchmark, bench_settings, report_sink):
+    result = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("table2_drops", result.render())
+    drops = {row[0]: row[1] for row in result.table.rows}
+    # Short ranges: (near) zero drops.
+    assert drops[1.0] < 0.5
+    assert drops[3.0] < 0.5
+    # The knee: range 7 drops noticeably more than range 3.
+    assert drops[7.0] > drops[3.0]
+    # And the top of the sweep dominates the bottom.
+    assert drops[11.0] > drops[5.0]
+    assert drops[11.0] > 1.0

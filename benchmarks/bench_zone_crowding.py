@@ -1,0 +1,50 @@
+"""Section II-A — zoning collapses under crowding.
+
+Zoning multiplies server capacity while players stay spread out; the
+paper notes that "zones collapse if too many users crowd into a zone
+all at once" (players flock to events, cities, battlegrounds).  This
+benchmark runs the same population at the same total CPU demand in two
+layouts — spread uniformly vs crowded into one tile — against SEVE,
+which is indifferent to where players stand.
+"""
+
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.metrics.report import Table
+
+
+def bench(base: SimulationSettings):
+    table = Table(
+        "Zone crowding (Section II-A): zoned Central vs SEVE",
+        ("layout", "architecture", "mean_ms", "p95_ms"),
+        note="same population and CPU demand; only the player layout changes",
+    )
+    runs = {}
+    layouts = {
+        "spread": base.with_(num_clients=48, spawn="uniform",
+                             num_walls=min(base.num_walls, 2_000)),
+        "crowded": base.with_(num_clients=48, spawn="cluster",
+                              spawn_extent=120.0,
+                              num_walls=min(base.num_walls, 2_000)),
+    }
+    for label, settings in layouts.items():
+        for architecture in ("zoned", "seve"):
+            run = run_simulation(architecture, settings, check_consistency=False)
+            runs[(label, architecture)] = run
+            table.add_row(label, architecture, run.mean_response_ms,
+                          run.response.p95)
+    return table, runs
+
+
+def test_zone_crowding(benchmark, bench_settings, report_sink):
+    table, runs = benchmark.pedantic(bench, args=(bench_settings,), rounds=1, iterations=1)
+    report_sink("zone_crowding", table.render())
+    # Zoning handles the spread layout fine (48 clients over 9 zones).
+    spread_zoned = runs[("spread", "zoned")].mean_response_ms
+    crowded_zoned = runs[("crowded", "zoned")].mean_response_ms
+    # The crowd collapses the hot zone.
+    assert crowded_zoned > spread_zoned * 3
+    # SEVE is indifferent to the layout (within noise and density costs).
+    spread_seve = runs[("spread", "seve")].mean_response_ms
+    crowded_seve = runs[("crowded", "seve")].mean_response_ms
+    assert crowded_seve < spread_seve * 2

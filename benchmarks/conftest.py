@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper at a
+calibrated (but wall-clock-friendly) scale, prints the report table, and
+saves it under ``benchmarks/results/`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the complete paper-vs-measured record on
+disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.config import SimulationSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The benchmark scale: Table I parameters with a reduced move count and
+#: wall count so the full suite runs in minutes.  The *shape* of every
+#: figure is preserved (knees depend on rates and costs, not run length);
+#: pass ``--paper-scale`` for the full 100-move, 100k-wall runs.
+BENCH_SETTINGS = SimulationSettings(
+    num_walls=20_000,
+    moves_per_client=40,
+)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full Table I scale "
+        "(100 moves/client, 100k walls) — slow",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_settings(request) -> SimulationSettings:
+    if request.config.getoption("--paper-scale"):
+        return SimulationSettings()
+    return BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Callable that prints a report table and persists it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def sink(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return sink

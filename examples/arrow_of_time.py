@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""The arrow anomaly (Figures 2 and 3 of the paper).
+
+Three archers stand in a line — A, B, C — with B visible to both
+neighbours but A and C out of each other's sight.  C shoots B dead;
+an instant later (before anyone has heard about C's arrow) B shoots A.
+
+Causally, B was already dead when it loosed its arrow, so A must live.
+A visibility-filtered architecture (RING) never tells A's client about
+C's shot, so A's client kills A anyway — and the replicas disagree
+forever.  SEVE's transitive closure ships C's shot to everyone who must
+evaluate B's, restoring the arrow of time.
+
+Run:  python examples/arrow_of_time.py
+"""
+
+from typing import Iterable, Optional
+
+from repro.baselines.common import BaselineConfig
+from repro.baselines.ring import RingEngine
+from repro.core.action import ActionId
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.metrics.report import Table
+from repro.state.objects import WorldObject
+from repro.types import ClientId, ObjectId
+from repro.world.avatar import avatar_id, avatar_object
+from repro.world.base import World
+from repro.world.combat import ShootArrowAction
+from repro.world.geometry import Vec2
+
+VISIBILITY = 40.0
+POSITIONS = {0: Vec2(0, 0), 1: Vec2(35, 0), 2: Vec2(70, 0)}
+NAME = {0: "A", 1: "B", 2: "C"}
+A, B, C = 0, 1, 2
+
+
+class ArrowWorld(World):
+    """Three stationary archers on a line."""
+
+    def initial_objects(self) -> Iterable[WorldObject]:
+        for index, position in POSITIONS.items():
+            yield avatar_object(index, position, speed=0.0)
+
+    def avatar_of(self, client_id: ClientId) -> Optional[ObjectId]:
+        return avatar_id(client_id) if client_id in POSITIONS else None
+
+    @property
+    def max_speed(self) -> float:
+        return 0.0
+
+    def client_radius(self, client_id: ClientId) -> float:
+        return VISIBILITY
+
+
+def shot(shooter: int, target: int) -> ShootArrowAction:
+    return ShootArrowAction(
+        ActionId(shooter, 0),
+        avatar_id(shooter),
+        avatar_id(target),
+        damage=100,
+        position=POSITIONS[shooter],
+        shot_range=VISIBILITY,
+        cost_ms=1.0,
+    )
+
+
+def alive_on(store, who: int):
+    oid = avatar_id(who)
+    if oid not in store:
+        return "?"
+    return "alive" if store.get(oid)["alive"] else "DEAD"
+
+
+def main() -> None:
+    # --- RING ---------------------------------------------------------
+    ring = RingEngine(ArrowWorld(), 3, BaselineConfig(rtt_ms=100.0),
+                      visibility=VISIBILITY)
+    ring.sim.schedule(0.0, lambda: ring.submit(C, shot(C, B)))
+    ring.sim.schedule(40.0, lambda: ring.submit(B, shot(B, A)))
+    ring.run()
+
+    # --- SEVE ----------------------------------------------------------
+    seve = SeveEngine(
+        ArrowWorld(), 3,
+        SeveConfig(mode="seve", rtt_ms=100.0, tick_ms=20.0, seed_full_state=True),
+    )
+    seve.start(stop_at=10_000)
+    seve.sim.schedule(0.0, lambda: seve.client(C).submit(shot(C, B)))
+    seve.sim.schedule(40.0, lambda: seve.client(B).submit(shot(B, A)))
+    seve.run(until=3_000)
+    seve.run_to_quiescence()
+
+    print("t=0ms   C shoots B (kill).  t=40ms  B shoots A.\n")
+    table = Table(
+        "Is archer A alive? (per replica)",
+        ("replica", "RING", "SEVE"),
+        note="causally, B died before loosing its arrow: A must live",
+    )
+    table.add_row(
+        "server (authoritative)",
+        alive_on(ring.state, A),
+        alive_on(seve.state, A),
+    )
+    for cid in (A, B, C):
+        ring_store = ring.clients[cid].store
+        seve_store = seve.clients[cid].stable
+        table.add_row(f"client {NAME[cid]}", alive_on(ring_store, A),
+                      alive_on(seve_store, A))
+    print(table.render())
+
+    ring_a_dead = not ring.clients[A].store.get(avatar_id(A))["alive"]
+    print(
+        "\nRING: client A never saw C's shot, evaluated B's arrow against a\n"
+        "stale world, and killed its own avatar"
+        + (" — permanent divergence." if ring_a_dead else ".")
+    )
+    print(
+        "SEVE: the server shipped C's shot inside the closure of B's shot;\n"
+        "every replica agrees the arrow fizzled and A lives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Dining philosophers on the equator (Section III-E of the paper).
+
+Every philosopher tries to grab both forks in the same instant.  The
+direct conflicts are only ever pairwise, but the transitive closure of
+conflicts wraps the entire ring — the paper's demonstration that the
+closure of uncommitted actions is unbounded.
+
+The Information Bound Model cuts the ring by dropping a few grabs
+(actions whose conflict chain stretches past the threshold), which
+bounds every surviving closure while committing the majority.
+
+Run:  python examples/dining_philosophers.py [num_philosophers]
+"""
+
+import sys
+
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.metrics.report import Table
+from repro.world.philosophers import (
+    FORK_FREE,
+    PhilosophersConfig,
+    PhilosophersWorld,
+    fork_id,
+    philosopher_id,
+)
+
+
+def run(num: int, threshold: float):
+    world = PhilosophersWorld(num, PhilosophersConfig(spacing=10.0))
+    engine = SeveEngine(
+        world,
+        num,
+        SeveConfig(mode="seve", rtt_ms=100.0, tick_ms=20.0, threshold=threshold),
+    )
+    engine.start(stop_at=20_000)
+    # Everyone grabs at t=0 — the worst case.
+    for cid in range(num):
+        client = engine.client(cid)
+        engine.sim.schedule(
+            0.0,
+            lambda c=client, cid=cid: c.submit(
+                world.plan_grab(cid, c.next_action_id(), cost_ms=0.5)
+            ),
+        )
+    engine.run(until=5_000)
+    engine.run_to_quiescence()
+    return world, engine
+
+
+def describe(world, engine, num):
+    state = engine.state
+    eaters = [
+        i for i in range(num) if state.get(philosopher_id(i))["state"] == "eating"
+    ]
+    hungry = [
+        i for i in range(num) if state.get(philosopher_id(i))["state"] == "hungry"
+    ]
+    held_forks = sum(
+        1 for i in range(num) if state.get(fork_id(i))["holder"] != FORK_FREE
+    )
+    return eaters, hungry, held_forks
+
+
+def main() -> None:
+    num = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+
+    table = Table(
+        f"Dining philosophers, {num} seats, simultaneous grabs",
+        ("threshold", "dropped", "committed", "eating", "hungry", "forks_held"),
+        note="threshold in world units; seats are 10 units apart on the ring",
+    )
+    for threshold in (15.0, 30.0, 1e9):
+        world, engine = run(num, threshold)
+        eaters, hungry, held = describe(world, engine, num)
+        table.add_row(
+            "unbounded" if threshold >= 1e9 else threshold,
+            engine.total_dropped,
+            engine.server.stats.actions_committed,
+            len(eaters),
+            len(hungry),
+            held,
+        )
+    print(table.render())
+    print(
+        "\nWith a finite threshold the server drops the few grabs whose\n"
+        "conflict chain stretches around the ring; everyone else's grab\n"
+        "commits with a bounded closure. With an unbounded threshold all\n"
+        "grabs commit, but every client's reply had to carry the whole\n"
+        "ring's worth of actions — the unbounded-closure problem."
+    )
+
+
+if __name__ == "__main__":
+    main()

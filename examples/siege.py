@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Siege: a destructible environment under SEVE.
+
+Figure 1 of the paper ranks *simulators* above static-world games
+because users can destroy the environment itself.  Here the walls are
+world state: sappers knock them down, and every replica must agree on
+whether a passage is open — a move that read a wall conflicts with the
+demolition that broke it, so the closure machinery ships the demolition
+to everyone it matters to.
+
+The script besieges a walled yard: three sappers demolish their way
+inward while three defenders patrol.  At the end it verifies that no
+replica disagrees with the authoritative state about any wall.
+
+Run:  python examples/siege.py
+"""
+
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.metrics.consistency import ConsistencyChecker
+from repro.metrics.report import Table
+from repro.world.siege import SiegeConfig, SiegeWorld
+
+SAPPERS = (0, 1, 2)
+DEFENDERS = (3, 4, 5)
+
+
+def main() -> None:
+    world = SiegeWorld(
+        6, SiegeConfig(num_walls=150, spawn_extent=80.0, seed=11)
+    )
+    engine = SeveEngine(
+        world,
+        6,
+        SeveConfig(mode="seve", tick_ms=50.0, seed_full_state=True,
+                   enable_audit=True),
+    )
+    engine.start(stop_at=120_000)
+
+    def act(cid, planner):
+        client = engine.client(cid)
+        action = planner(client.optimistic, cid, client.next_action_id())
+        if action is not None:
+            client.submit(action)
+
+    rounds = 20
+    for step in range(rounds):
+        t = 100.0 + step * 300.0
+        for cid in SAPPERS + DEFENDERS:
+            engine.sim.schedule(
+                t + cid,
+                lambda cid=cid: act(
+                    cid, lambda s, c, a: world.plan_move(s, c, a, cost_ms=1.5)
+                ),
+            )
+        # Sappers demolish every other round.
+        if step % 2 == 0:
+            for cid in SAPPERS:
+                engine.sim.schedule(
+                    t + 150.0 + cid,
+                    lambda cid=cid: act(
+                        cid,
+                        lambda s, c, a: world.plan_demolish(s, c, a, cost_ms=2.0),
+                    ),
+                )
+    engine.run(until=100.0 + rounds * 300.0 + 1000.0)
+    engine.run_to_quiescence()
+
+    broken = [
+        obj.oid for obj in engine.state.objects()
+        if obj.oid.startswith("wall:") and obj.get("intact") is False
+    ]
+    report = ConsistencyChecker(engine.state).check_all(
+        {cid: c.stable for cid, c in engine.clients.items()}
+    )
+    summary = engine.response_times.summary()
+
+    table = Table("Siege results", ("metric", "value"))
+    table.add_row("walls demolished", len(broken))
+    table.add_row("actions committed", engine.server.stats.actions_committed)
+    table.add_row("moves dropped", engine.total_dropped)
+    table.add_row("mean response (ms)", summary.mean)
+    table.add_row("consistency", report.summary())
+    table.add_row("audit alerts", len(engine.audit.alerts))
+    print(table.render())
+    print(
+        "\nEvery wall's fate is agreed on by every replica: demolitions\n"
+        "ride the same transitive closures as avatar state, so the\n"
+        "environment itself is strongly consistent."
+    )
+
+
+if __name__ == "__main__":
+    main()

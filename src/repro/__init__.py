@@ -1,0 +1,47 @@
+"""SEVE — Scalable Engine for Virtual Environments.
+
+A Python reproduction of *Scalability for Virtual Worlds* (Gupta,
+Demers, Gehrke, Unterbrunner, White — ICDE 2009): action-based
+consistency protocols for networked virtual environments, with the
+paper's full evaluation (Central / Broadcast / RING baselines, the
+Manhattan People workload, and every table and figure) runnable on a
+deterministic discrete-event simulator.
+
+Quick start::
+
+    from repro import SimulationSettings, run_simulation
+
+    settings = SimulationSettings(num_clients=16, num_walls=2_000,
+                                  moves_per_client=30)
+    result = run_simulation("seve", settings)
+    print(result.response.mean, "ms mean stable response")
+
+Public surface
+--------------
+* :class:`repro.core.engine.SeveEngine` / :class:`SeveConfig` — the
+  protocol engine (modes: basic / incomplete / first-bound / seve).
+* :mod:`repro.baselines` — Central, Broadcast, RING-like comparators.
+* :class:`repro.harness.config.SimulationSettings` — Table I settings.
+* :func:`repro.harness.runner.run_simulation` — one-call experiments.
+* :mod:`repro.harness.experiments` — per-figure drivers.
+"""
+
+from repro.core.action import Action, ActionId, ActionResult, BlindWrite
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import RunResult, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "ActionId",
+    "ActionResult",
+    "BlindWrite",
+    "RunResult",
+    "SeveConfig",
+    "SeveEngine",
+    "SimulationSettings",
+    "run_simulation",
+    "__version__",
+]

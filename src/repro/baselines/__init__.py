@@ -1,0 +1,35 @@
+"""Comparison architectures from the paper's evaluation.
+
+* :mod:`repro.baselines.central` — the Central model (Second Life /
+  World of Warcraft): all game logic runs on the server, clients are
+  thin views fed by interest-managed state updates.
+* :mod:`repro.baselines.broadcast` — the Broadcast model (NPSNET /
+  SIMNET): the server relays every action to every client and each
+  client runs the full simulation.
+* :mod:`repro.baselines.ring` — the RING-like model: the server relays
+  actions only to clients whose avatar can *see* the actor.  Scalable,
+  but — as Section III-B shows — inconsistent, because causal influence
+  exceeds visibility.
+* :mod:`repro.baselines.locking` — the Section II-B lock-based protocol
+  (Project Darkstar style): 2x RTT per conflicting transaction.
+* :mod:`repro.baselines.timestamp` — the Section II-B timestamp-ordered
+  optimistic protocol: spurious aborts under contention.
+* :mod:`repro.baselines.zoned` — Section II-A zoning/sharding: Central
+  evaluation tiled over per-zone servers; collapses under crowding.
+"""
+
+from repro.baselines.broadcast import BroadcastEngine
+from repro.baselines.central import CentralEngine
+from repro.baselines.locking import LockingEngine
+from repro.baselines.ring import RingEngine
+from repro.baselines.timestamp import TimestampEngine
+from repro.baselines.zoned import ZonedCentralEngine
+
+__all__ = [
+    "BroadcastEngine",
+    "CentralEngine",
+    "LockingEngine",
+    "RingEngine",
+    "TimestampEngine",
+    "ZonedCentralEngine",
+]

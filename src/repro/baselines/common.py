@@ -1,0 +1,193 @@
+"""Shared machinery of the baseline architectures.
+
+All three baselines are client–server relay systems: clients submit
+actions; the server routes something (raw actions or evaluated state
+updates) to some set of clients.  They differ only in *who evaluates*
+and *who receives*.  :class:`BaselineClient` provides the client shell —
+a single local replica, a simulated CPU, submission bookkeeping and
+response-time measurement — and :class:`BaselineEngine` the common
+assembly (simulator, star network, hosts, world state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.action import Action, ActionId
+from repro.core.messages import SubmitAction, wire_size
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.net.stats import LatencySampler
+from repro.state.store import ObjectStore
+from repro.state.versioned import VersionedStore
+from repro.types import SERVER_ID, ClientId, TimeMs
+from repro.world.base import World
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Network and cost parameters shared by the baselines.
+
+    ``update_apply_cost_ms`` is the (cheap) cost of installing a state
+    update at a thin client; ``relay_cost_ms`` the per-destination cost
+    of the server's routing work; ``eval_overhead_ms`` the fixed
+    synchronization/bookkeeping cost added to every full action
+    evaluation (the paper's measured ~60 ms per 32-action round on top
+    of 32 x 7.44 ms, i.e. ~1.9 ms/action — this is what puts the
+    Figure 6 knee at 30-32 clients).
+    """
+
+    rtt_ms: TimeMs = 238.0
+    bandwidth_bps: Optional[float] = 100_000.0
+    update_apply_cost_ms: float = 0.1
+    relay_cost_ms: float = 0.01
+    eval_overhead_ms: float = 1.9
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise ConfigurationError("rtt_ms must be >= 0")
+
+
+class BaselineClient:
+    """A baseline client: one local replica plus a CPU.
+
+    The replica starts as a full snapshot of the initial world (the
+    baseline systems replicate the database and ship deltas) and is
+    advanced by whatever the architecture routes to it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: Host,
+        client_id: ClientId,
+        store: ObjectStore,
+        handler: Callable[[ClientId, object], None],
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.client_id = client_id
+        self.store = store
+        self._submit_times: Dict[ActionId, TimeMs] = {}
+        self.submitted = 0
+        self.evaluated = 0
+        self.on_confirmed: Optional[Callable[[Action, TimeMs], None]] = None
+        network.register(client_id, handler)
+
+    def submit(self, action: Action) -> None:
+        """Send a freshly created action to the server."""
+        if action.client_id != self.client_id:
+            raise ProtocolError(
+                f"client {self.client_id} cannot submit {action.action_id}"
+            )
+        self.submitted += 1
+        self._submit_times[action.action_id] = self.sim.now
+        message = SubmitAction(action)
+        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+
+    def note_response(self, action: Action) -> None:
+        """The architecture observed the authoritative outcome of one of
+        this client's actions; record its response time."""
+        submitted_at = self._submit_times.pop(action.action_id, None)
+        if submitted_at is None:
+            return
+        if self.on_confirmed is not None:
+            self.on_confirmed(action, self.sim.now - submitted_at)
+
+
+class BaselineEngine:
+    """Common assembly for the baseline architectures.
+
+    Subclasses register the server handler and implement routing; the
+    engine exposes the same driving surface as
+    :class:`~repro.core.engine.SeveEngine` so the experiment harness can
+    treat all architectures uniformly.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        num_clients: int,
+        config: Optional[BaselineConfig] = None,
+    ) -> None:
+        if num_clients < 0:
+            raise ConfigurationError(f"num_clients must be >= 0, got {num_clients}")
+        self.world = world
+        self.config = config or BaselineConfig()
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            rtt_ms=self.config.rtt_ms,
+            bandwidth_bps=self.config.bandwidth_bps,
+        )
+        self.server_host = Host(self.sim, SERVER_ID)
+        self.state = VersionedStore(world.initial_objects())
+        self.response_times = LatencySampler()
+        self.clients: Dict[ClientId, BaselineClient] = {}
+        self.network.register(SERVER_ID, self._on_server_message)
+        for client_id in range(num_clients):
+            host = Host(self.sim, client_id)
+            client = BaselineClient(
+                self.sim,
+                self.network,
+                host,
+                client_id,
+                self.state.snapshot(),
+                self._make_client_handler(client_id),
+            )
+            client.on_confirmed = self._make_confirm_hook(client_id)
+            self.clients[client_id] = client
+
+    # -- subclass responsibilities ----------------------------------------
+    def _on_server_message(self, src: ClientId, payload: object) -> None:
+        raise NotImplementedError
+
+    def _on_client_message(
+        self, client: BaselineClient, src: ClientId, payload: object
+    ) -> None:
+        raise NotImplementedError
+
+    # -- wiring -------------------------------------------------------------
+    def _make_client_handler(
+        self, client_id: ClientId
+    ) -> Callable[[ClientId, object], None]:
+        def handler(src: ClientId, payload: object) -> None:
+            self._on_client_message(self.clients[client_id], src, payload)
+
+        return handler
+
+    def _make_confirm_hook(
+        self, client_id: ClientId
+    ) -> Callable[[Action, TimeMs], None]:
+        def hook(action: Action, response_ms: TimeMs) -> None:
+            self.response_times.record(response_ms, client_id)
+
+        return hook
+
+    # -- uniform driving surface --------------------------------------------
+    def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
+        """Baselines have no periodic server processes by default."""
+
+    def planning_store(self, client_id: ClientId) -> ObjectStore:
+        """The replica a client plans its next action from."""
+        return self.clients[client_id].store
+
+    def submit(self, client_id: ClientId, action: Action) -> None:
+        """Submit an action on behalf of ``client_id``."""
+        self.clients[client_id].submit(action)
+
+    def run(self, until: Optional[TimeMs] = None) -> None:
+        """Advance the simulation."""
+        self.sim.run(until=until)
+
+    def run_to_quiescence(self, max_extra_ms: TimeMs = 600_000.0) -> None:
+        """Drain every in-flight event (baselines have no periodic work,
+        so the event queue empties naturally)."""
+        deadline = self.sim.now + max_extra_ms
+        while self.sim.now < deadline and self.sim.step():
+            pass

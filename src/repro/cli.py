@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+``run``
+    One simulation of any architecture under the Table I workload, with
+    the main knobs exposed as flags; prints a measurement report.
+``experiment``
+    Regenerate a paper table/figure (or an ablation) and print it.
+``list``
+    Enumerate available architectures and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import experiments
+from repro.harness.architectures import ARCHITECTURES
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.metrics.report import Table
+
+#: Experiment name -> driver.
+EXPERIMENTS = {
+    "table1": experiments.run_table1,
+    "figure6": experiments.run_figure6,
+    "figure7": experiments.run_figure7,
+    "figure8": experiments.run_figure8,
+    "table2": experiments.run_table2,
+    "figure9": experiments.run_figure9,
+    "figure10": experiments.run_figure10,
+    "ablation-culling": experiments.run_ablation_culling,
+    "ablation-omega": experiments.run_ablation_omega,
+    "ablation-threshold": experiments.run_ablation_threshold,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SEVE: action-based consistency protocols for virtual "
+        "worlds (reproduction of 'Scalability for Virtual Worlds', ICDE'09)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one architecture on the workload")
+    run.add_argument("architecture", choices=ARCHITECTURES)
+    run.add_argument("--clients", type=int, default=32)
+    run.add_argument("--walls", type=int, default=10_000)
+    run.add_argument("--moves", type=int, default=50)
+    run.add_argument("--move-cost-ms", type=float, default=7.44)
+    run.add_argument("--visibility", type=float, default=30.0)
+    run.add_argument("--effect-range", type=float, default=10.0)
+    run.add_argument("--rtt-ms", type=float, default=238.0)
+    run.add_argument("--omega", type=float, default=0.5)
+    run.add_argument("--threshold", type=float, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--no-consistency-check", action="store_true",
+        help="skip the Theorem 1 sweep at quiescence",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--moves", type=int, default=40,
+        help="moves per client (paper scale: 100)",
+    )
+    experiment.add_argument(
+        "--walls", type=int, default=20_000,
+        help="wall count (paper scale: 100000)",
+    )
+
+    sub.add_parser("list", help="list architectures and experiments")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    settings = SimulationSettings(
+        num_clients=args.clients,
+        num_walls=args.walls,
+        moves_per_client=args.moves,
+        move_cost_ms=args.move_cost_ms,
+        visibility=args.visibility,
+        move_effect_range=args.effect_range,
+        rtt_ms=args.rtt_ms,
+        omega=args.omega,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    result = run_simulation(
+        args.architecture,
+        settings,
+        check_consistency=not args.no_consistency_check,
+    )
+    table = Table(f"repro run — {args.architecture}", ("metric", "value"))
+    table.add_row("clients", settings.num_clients)
+    table.add_row("moves submitted", result.moves_submitted)
+    table.add_row("stable responses", result.responses_observed)
+    table.add_row("mean response (ms)", result.response.mean)
+    table.add_row("p95 response (ms)", result.response.p95)
+    table.add_row("traffic per client (KB)", result.client_traffic_kb)
+    table.add_row("total traffic (KB)", result.total_traffic_kb)
+    table.add_row("moves dropped (%)", result.drop_percent)
+    table.add_row("avg visible avatars", result.avg_visible)
+    if result.consistency is not None:
+        table.add_row("consistency", result.consistency.summary())
+    table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
+    table.add_row("wall time (s)", result.wall_seconds)
+    print(table.render())
+    if result.consistency is not None and not result.consistency.consistent:
+        return 1
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    base = SimulationSettings(
+        moves_per_client=args.moves, num_walls=args.walls
+    )
+    driver = EXPERIMENTS[args.name]
+    result = driver(base)
+    print(result.render())
+    return 0
+
+
+def _command_list(_: argparse.Namespace) -> int:
+    print("architectures:")
+    for name in ARCHITECTURES:
+        print(f"  {name}")
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return _command_list(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

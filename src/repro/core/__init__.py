@@ -1,0 +1,45 @@
+"""Action-based consistency protocols — the paper's core contribution.
+
+Modules
+-------
+:mod:`repro.core.action`
+    Actions with declared read/write sets, results, blind writes.
+:mod:`repro.core.client`
+    Client-side protocol (Algorithms 1 and 4) with optimistic/stable
+    replicas and reconciliation (Algorithm 3).
+:mod:`repro.core.server_basic`
+    The first action-based protocol's serializer server (Algorithm 2).
+:mod:`repro.core.server_incomplete`
+    The Incomplete World server (Algorithms 5 and 6).
+:mod:`repro.core.first_bound`
+    First Bound Model: proactive pushes and the Equation (1) predicate.
+:mod:`repro.core.info_bound`
+    Information Bound Model: Algorithm 7 chain-breaking drops.
+:mod:`repro.core.interest` / :mod:`repro.core.culling`
+    The Section IV optimizations.
+:mod:`repro.core.engine`
+    The SEVE facade that wires everything together.
+"""
+
+from repro.core.action import Action, ActionId, ActionResult, BlindWrite
+from repro.core.client import ClientConfig, ProtocolClient
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.core.first_bound import FirstBoundPredicate
+from repro.core.info_bound import InformationBound
+from repro.core.server_basic import BasicServer
+from repro.core.server_incomplete import IncompleteWorldServer
+
+__all__ = [
+    "Action",
+    "ActionId",
+    "ActionResult",
+    "BasicServer",
+    "BlindWrite",
+    "ClientConfig",
+    "FirstBoundPredicate",
+    "IncompleteWorldServer",
+    "InformationBound",
+    "ProtocolClient",
+    "SeveConfig",
+    "SeveEngine",
+]

@@ -1,0 +1,364 @@
+"""Client-side action protocol: Algorithms 1, 3 and 4 of the paper.
+
+A :class:`ProtocolClient` maintains two replicas of the world state —
+the optimistic version ζ_CO and the stable version ζ_CS — plus the
+pending queue Q of locally generated actions not yet received back from
+the server.  Locally created actions are applied to ζ_CO immediately
+(optimistic evaluation) and sent to the server for serialization; the
+serialized stream coming back from the server is applied to ζ_CS, and
+disagreements between the optimistic and stable evaluation of an own
+action trigger reconciliation (Algorithm 3).
+
+The same class implements both the basic protocol (Algorithm 1) and the
+Incomplete World protocol (Algorithm 4): the latter additionally sends
+completion messages and accepts server blind writes, both controlled by
+:class:`ClientConfig`.
+
+All evaluation work is charged to the client's simulated CPU
+(:class:`repro.net.host.Host`), which is what makes an overloaded client
+(Broadcast at scale, or naive SEVE in a dense crowd) accumulate queueing
+delay — the effect Figures 6–8 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.core.action import ABORT_RESULT, Action, ActionId, ActionResult, BlindWrite
+from repro.core.messages import (
+    AbortNotice,
+    ActionBatch,
+    Completion,
+    GroupBundle,
+    OrderedAction,
+    PeerForward,
+    SubmitAction,
+    wire_size,
+)
+from repro.core.pending import PendingQueue
+from repro.errors import MissingObjectError, ProtocolError
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.state.store import ObjectStore
+from repro.types import SERVER_ID, ClientId, TimeMs
+
+
+@dataclass
+class ClientConfig:
+    """Knobs selecting the protocol variant a client speaks.
+
+    ``send_completions``
+        Incomplete World mode: report the stable result *u* of own
+        actions so the server can build ζ_S (Algorithm 4 step 5).
+    ``report_all_completions``
+        Fault-tolerance mode (Section III-C): send a completion for
+        *every* action applied, not just own ones, so the server can
+        commit even when the originator has failed.
+    ``charge_optimistic_cost``
+        Whether optimistic evaluation occupies the client CPU (true in
+        the paper's setup; disable for analytical what-ifs).
+    ``eval_overhead_ms``
+        Fixed per-action synchronization/bookkeeping cost added to every
+        evaluation.  The paper measures 60 ms of "synchronization and
+        networking overhead" on top of 32 x 7.44 ms of evaluation per
+        300 ms round, i.e. ~1.9 ms per action; charging it uniformly
+        wherever actions are evaluated reproduces the Figure 6 knee at
+        30-32 clients.
+    ``interests``
+        Interest classes for Section IV-A inconsequential-action
+        elimination; ``None`` subscribes to everything.
+    """
+
+    send_completions: bool = False
+    report_all_completions: bool = False
+    charge_optimistic_cost: bool = True
+    eval_overhead_ms: float = 1.9
+    interests: Optional[frozenset[str]] = None
+
+
+@dataclass
+class ClientStats:
+    """Per-client protocol counters (read by the experiment harness)."""
+
+    submitted: int = 0
+    confirmed: int = 0
+    aborted: int = 0
+    reconciliations: int = 0
+    stable_evaluations: int = 0
+    blind_writes_applied: int = 0
+    mismatches: int = 0
+
+
+class ProtocolClient:
+    """One client of an action-based protocol (Algorithms 1/4)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: Host,
+        client_id: ClientId,
+        stable_store: ObjectStore,
+        *,
+        config: Optional[ClientConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.client_id = client_id
+        self.config = config or ClientConfig()
+        #: ζ_CS — the stable replica, advanced only by the server stream.
+        self.stable = stable_store
+        #: ζ_CO — the optimistic replica, equal to ζ_CS plus the
+        #: optimistic effects of Q.
+        self.optimistic = stable_store.snapshot()
+        self.queue = PendingQueue()
+        self.stats = ClientStats()
+        self._next_seq = 0
+        self._submit_times: Dict[ActionId, TimeMs] = {}
+        self._applied_positions: Set[int] = set()
+        self._gc_frontier = -1
+        #: Hook: own action confirmed stable; args (action, response_ms).
+        self.on_confirmed: Optional[Callable[[Action, TimeMs], None]] = None
+        #: Hook: own action dropped by the server; args (action_id,).
+        self.on_aborted: Optional[Callable[[ActionId], None]] = None
+        network.register(client_id, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Action creation (Algorithm 1/4 step 2)
+    # ------------------------------------------------------------------
+    def next_action_id(self) -> ActionId:
+        """Mint the id for the client's next action."""
+        action_id = ActionId(self.client_id, self._next_seq)
+        self._next_seq += 1
+        return action_id
+
+    def submit(self, action: Action) -> None:
+        """Optimistically evaluate ``action`` and send it to the server.
+
+        The optimistic evaluation runs on the client CPU; the submit
+        message leaves for the server immediately (the paper's client
+        sends the action concurrently with evaluating it).
+        """
+        if action.client_id != self.client_id:
+            raise ProtocolError(
+                f"client {self.client_id} cannot submit {action.action_id}"
+            )
+        self.stats.submitted += 1
+        self._submit_times[action.action_id] = self.sim.now
+        message = SubmitAction(action)
+        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+
+        # The queue/replica update is synchronous so that protocol state
+        # is never behind the network (a backlogged CPU must not let the
+        # server's echo overtake our own bookkeeping); the evaluation
+        # *cost* is charged to the CPU as a delay item.
+        result = self._apply_optimistically(action)
+        self.queue.push(action, result)
+        if self.config.charge_optimistic_cost:
+            cost = action.cost_ms + self.config.eval_overhead_ms
+            if cost > 0:
+                self.host.execute(cost, lambda: None)
+
+    def _apply_optimistically(self, action: Action) -> ActionResult:
+        """Evaluate ``action`` against ζ_CO, tolerating missing reads.
+
+        Under the Incomplete World Model a client may create an action
+        whose read set mentions objects its replica does not (yet) hold
+        — e.g. shooting at an avatar known only by id.  The optimistic
+        guess then degrades to the abort result; the authoritative
+        evaluation on ζ_CS will disagree and trigger reconciliation,
+        which is exactly the designed recovery path.
+        """
+        try:
+            return action.apply(self.optimistic)
+        except MissingObjectError:
+            return ABORT_RESULT
+
+    # ------------------------------------------------------------------
+    # Server stream handling (Algorithm 1/4 steps 3-5)
+    # ------------------------------------------------------------------
+    def _on_message(self, src: ClientId, payload: object) -> None:
+        if isinstance(payload, GroupBundle):
+            payload = self._relay_bundle(payload)
+            if payload is None:
+                return
+        if isinstance(payload, PeerForward):
+            # Hybrid mode (§VII): a head forwarded our batch to us.
+            payload = payload.payload
+        if isinstance(payload, ActionBatch):
+            if payload.last_installed > self._gc_frontier:
+                self._gc_frontier = payload.last_installed
+                self._garbage_collect()
+            for entry in payload.entries:
+                self._enqueue_entry(entry)
+        elif isinstance(payload, AbortNotice):
+            self._handle_abort(payload)
+        else:
+            raise ProtocolError(
+                f"client {self.client_id}: unexpected message "
+                f"{type(payload).__name__} from {src}"
+            )
+
+    def _relay_bundle(self, bundle: GroupBundle):
+        """Hybrid mode (§VII): we are this cycle's relay head.
+
+        Rebuild each member's batch from the shared entry table, forward
+        peers' batches over peer links, and return our own batch (or
+        ``None`` when the bundle held nothing for us).
+        """
+        own_batch = None
+        for member, items in bundle.members:
+            entries = tuple(
+                bundle.shared[item] if isinstance(item, int) else item
+                for item in items
+            )
+            batch = ActionBatch(entries, last_installed=bundle.last_installed)
+            if member == self.client_id:
+                own_batch = batch
+            else:
+                forward = PeerForward(member, batch)
+                self.network.send(
+                    self.client_id, member, forward, wire_size(forward)
+                )
+        return own_batch
+
+    def _enqueue_entry(self, entry: OrderedAction) -> None:
+        if entry.pos >= 0:
+            if entry.pos in self._applied_positions:
+                raise ProtocolError(
+                    f"client {self.client_id}: duplicate delivery of pos {entry.pos}"
+                )
+            self._applied_positions.add(entry.pos)
+        cost = entry.action.cost_ms + (
+            0.0 if isinstance(entry.action, BlindWrite) else self.config.eval_overhead_ms
+        )
+        self.host.execute(cost, lambda: self._process_entry(entry))
+
+    def _process_entry(self, entry: OrderedAction) -> None:
+        action = entry.action
+        if action.client_id == self.client_id:
+            self._process_own_action(entry)
+        else:
+            self._process_remote_action(entry)
+
+    def _process_remote_action(self, entry: OrderedAction) -> None:
+        """Step 4: remote action (or server blind write) applied to ζ_CS,
+        with its writes copied to ζ_CO outside WS(Q)."""
+        action = entry.action
+        if isinstance(action, BlindWrite):
+            self.stats.blind_writes_applied += 1
+        else:
+            self.stats.stable_evaluations += 1
+        result = action.apply(self.stable)
+        self._propagate_writes(result)
+        if self.config.report_all_completions and not isinstance(action, BlindWrite):
+            self._send_completion(action, result, pos=entry.pos)
+
+    def _propagate_writes(self, result: ActionResult) -> None:
+        values = {
+            oid: attrs
+            for oid, attrs in result.values().items()
+            if not self.queue.writes(oid)
+        }
+        if values:
+            self.optimistic.merge(values)
+
+    def _process_own_action(self, entry: OrderedAction) -> None:
+        """Step 5: our own action came back; compare with its optimistic
+        evaluation, reconcile on mismatch, send completion."""
+        action = entry.action
+        if not self.queue or self.queue.head()[0].action_id != action.action_id:
+            raise ProtocolError(
+                f"client {self.client_id}: own action {action.action_id} "
+                f"returned out of order (queue head: "
+                f"{self.queue.head()[0].action_id if self.queue else 'empty'})"
+            )
+        self.stats.stable_evaluations += 1
+        stable_result = action.apply(self.stable)
+        _, optimistic_result = self.queue.pop_head()
+        if stable_result != optimistic_result:
+            self.stats.mismatches += 1
+            # The confirmed action left Q, so its writes are no longer
+            # in WS(Q); include them in the rollback set explicitly or
+            # ζ_CO would keep the stale optimistic guess.
+            self._reconcile(extra_writes=action.writes)
+        if self.config.send_completions:
+            self._send_completion(action, stable_result, pos=entry.pos)
+        self.stats.confirmed += 1
+        submitted_at = self._submit_times.pop(action.action_id, None)
+        if self.on_confirmed is not None and submitted_at is not None:
+            self.on_confirmed(action, self.sim.now - submitted_at)
+
+    def _send_completion(
+        self, action: Action, result: ActionResult, pos: int = -1
+    ) -> None:
+        message = Completion(pos, action.action_id, result, reporter=self.client_id)
+        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+
+    # ------------------------------------------------------------------
+    # Reconciliation (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _reconcile(self, extra_writes: frozenset = frozenset()) -> None:
+        """ζ_CO(WS(Q)) ← ζ_CS(WS(Q)); replay Q against ζ_CO.
+
+        ``extra_writes`` extends the rollback set with writes of an
+        action that was just *removed* from Q (an abort): its optimistic
+        effects must be undone even though it no longer contributes to
+        WS(Q).
+
+        The replay cost is charged to the CPU as a follow-up work item
+        (pure delay) so queueing behaviour stays realistic while the
+        state machine remains synchronous.
+        """
+        self.stats.reconciliations += 1
+        write_set = self.queue.write_set() | extra_writes
+        self.optimistic.install(self.stable.values_of_present(write_set))
+        for oid in self.stable.missing(write_set):
+            self.optimistic.discard(oid)
+        replay_cost = 0.0
+        for index, (action, _) in enumerate(self.queue):
+            replay_cost += action.cost_ms + self.config.eval_overhead_ms
+            new_result = self._apply_optimistically(action)
+            self.queue.replace_result(index, new_result)
+        if replay_cost > 0:
+            self.host.execute(replay_cost, lambda: None)
+
+    # ------------------------------------------------------------------
+    # Aborts (Information Bound Model drops)
+    # ------------------------------------------------------------------
+    def _handle_abort(self, notice: AbortNotice) -> None:
+        removed = self.queue.remove(notice.action_id)
+        self._submit_times.pop(notice.action_id, None)
+        if removed is None:
+            return  # already confirmed or never queued; nothing to undo
+        self.stats.aborted += 1
+        # Undo the dropped action's optimistic effect by reconciling the
+        # remaining queue against the stable state.
+        self._reconcile(extra_writes=removed.writes)
+        self.stats.reconciliations -= 1  # bookkeeping: abort, not mismatch
+        if self.on_aborted is not None:
+            self.on_aborted(notice.action_id)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _garbage_collect(self) -> None:
+        """Drop dedup bookkeeping below the server's commit frontier
+        (the paper's 'optimized for memory' note in Section III-C)."""
+        self._applied_positions = {
+            pos for pos in self._applied_positions if pos > self._gc_frontier
+        }
+
+    @property
+    def pending_count(self) -> int:
+        """Number of own actions awaiting confirmation."""
+        return len(self.queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProtocolClient(id={self.client_id}, pending={len(self.queue)}, "
+            f"confirmed={self.stats.confirmed})"
+        )

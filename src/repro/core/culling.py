@@ -1,0 +1,66 @@
+"""Area culling — Section IV-B of the paper.
+
+Most actions (an arrow in flight, a walking avatar, damage-over-time
+effects) have a velocity vector; treating their area of influence as a
+static sphere centred at the point of occurrence over-approximates who
+they can affect.  The restructured conflict test replaces the static
+radius r_M with the *projected* position of the moving effect:
+
+    ‖p̄_M + v̄_M·(t_M − t_C) − p̄_C‖ ≤ 2·s·(1+ω)·RTT + r_C
+
+where t_M is the time of occurrence of the action M and t_C the time at
+which the client's position p̄_C was last updated.
+
+These helpers are pure geometry; the First Bound predicate composes
+them with Equation (1)'s reach term.
+"""
+
+from __future__ import annotations
+
+from repro.types import TimeMs
+from repro.world.geometry import Vec2
+
+
+def projected_position(
+    position: Vec2,
+    velocity: Vec2,
+    action_time: TimeMs,
+    reference_time: TimeMs,
+) -> Vec2:
+    """p̄_M + v̄_M · (t_M − t_C), with times in ms and velocity in
+    world units per second."""
+    elapsed_s = (action_time - reference_time) / 1000.0
+    return position + velocity.scaled(elapsed_s)
+
+
+def moving_effect_affects(
+    action_position: Vec2,
+    action_velocity: Vec2,
+    action_time: TimeMs,
+    client_position: Vec2,
+    client_position_time: TimeMs,
+    reach: float,
+    client_radius: float,
+) -> bool:
+    """The Section IV-B velocity-culled conflict test.
+
+    ``reach`` is Equation (1)'s 2·s·(1+ω)·RTT term, precomputed by the
+    caller.  Note the action's own radius does not appear — it has been
+    replaced by the velocity projection.
+    """
+    projected = projected_position(
+        action_position, action_velocity, action_time, client_position_time
+    )
+    return projected.distance_to(client_position) <= reach + client_radius
+
+
+def sphere_affects(
+    action_position: Vec2,
+    action_radius: float,
+    client_position: Vec2,
+    reach: float,
+    client_radius: float,
+) -> bool:
+    """The plain Equation (1) sphere-of-influence test."""
+    bound = reach + client_radius + action_radius
+    return action_position.distance_to(client_position) <= bound

@@ -1,0 +1,348 @@
+"""SEVE: the engine facade.
+
+:class:`SeveEngine` assembles a complete runnable system — simulator,
+star network, server and client hosts, the authoritative state, one
+:class:`~repro.core.client.ProtocolClient` per player, and the server
+variant selected by :class:`SeveConfig.mode`:
+
+``basic``
+    The first action-based protocol (Algorithms 1-3): a pure serializer
+    server that eagerly streams every action to every client.  Strongly
+    consistent, response in one round trip, no scalability (this is
+    also the computational shape of the Broadcast baseline).
+``incomplete``
+    The Incomplete World Model (Algorithms 4-6): reactive closure
+    replies; clients evaluate only actions that affect them.
+``first-bound``
+    Adds the First Bound Model: proactive pushes every ω·RTT with the
+    Equation (1) predicate.  This is the "naive SEVE" of Figure 8 —
+    no chain breaking, so dense crowds overload clients.
+``seve``
+    The full system: First Bound pushes + Information Bound dropping.
+
+Usage::
+
+    engine = SeveEngine(world, num_clients=8, config=SeveConfig())
+    engine.start(stop_at=30_000)
+    engine.submit(client_id, action)         # typically via a workload
+    engine.sim.run(until=35_000)
+    print(engine.response_times.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.action import Action, ActionId
+from repro.core.client import ClientConfig, ProtocolClient
+from repro.core.first_bound import FirstBoundPredicate
+from repro.core.info_bound import InformationBound
+from repro.core.server_basic import BasicServer
+from repro.core.server_incomplete import IncompleteWorldServer, ServerCosts
+from repro.errors import ConfigurationError
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.net.stats import LatencySampler
+from repro.state.versioned import VersionedStore
+from repro.types import SERVER_ID, ClientId, TimeMs
+from repro.world.base import World
+
+#: The protocol variants the engine can assemble.
+MODES = ("basic", "incomplete", "first-bound", "seve", "hybrid")
+
+
+@dataclass(frozen=True)
+class SeveConfig:
+    """Engine configuration (defaults follow Table I of the paper)."""
+
+    mode: str = "seve"
+    rtt_ms: TimeMs = 238.0
+    bandwidth_bps: Optional[float] = 100_000.0
+    omega: float = 0.5
+    tick_ms: TimeMs = 100.0
+    #: Information Bound threshold in world units (Table I: 1.5 x
+    #: avatar visibility = 45).
+    threshold: float = 45.0
+    #: What happens to chain-breaking actions: "drop" (Algorithm 7) or
+    #: "delay" (the Section III-E alternative — defer so the conflict
+    #: set can commit, drop only after ``max_delay_ticks``).
+    info_bound_policy: str = "drop"
+    max_delay_ticks: int = 3
+    use_velocity_culling: bool = False
+    #: Fault-tolerant completions (every client reports every action).
+    fault_tolerant: bool = False
+    #: Per-evaluation synchronization overhead charged at clients (see
+    #: :class:`repro.core.client.ClientConfig.eval_overhead_ms`).
+    eval_overhead_ms: float = 1.9
+    #: Ship the full initial world state to every client replica (the
+    #: login-time download games perform).  Off by default: incomplete
+    #: replicas start with just their own avatar and grow through blind
+    #: writes, which exercises the protocol's seeding path.
+    seed_full_state: bool = False
+    #: Attach a server-side audit log with cheat detection (Section
+    #: II-B's "servers can also log MMO statistics to detect cheating").
+    enable_audit: bool = False
+    #: Relay-group size for the hybrid mode (§VII future work): server
+    #: egress per group tends toward 1/group_size.
+    hybrid_group_size: int = 4
+    costs: ServerCosts = field(default_factory=ServerCosts)
+    #: Retained committed versions per object on the server (``None`` =
+    #: unbounded, which the Theorem 1 consistency checks rely on; bound
+    #: it for long memory-sensitive runs).
+    history_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+
+
+class SeveEngine:
+    """A fully wired SEVE system over a :class:`World`."""
+
+    def __init__(
+        self,
+        world: World,
+        num_clients: int,
+        config: Optional[SeveConfig] = None,
+        *,
+        interests: Optional[Dict[ClientId, frozenset[str]]] = None,
+    ) -> None:
+        if num_clients < 0:
+            raise ConfigurationError(f"num_clients must be >= 0, got {num_clients}")
+        self.world = world
+        self.config = config or SeveConfig()
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            rtt_ms=self.config.rtt_ms,
+            bandwidth_bps=self.config.bandwidth_bps,
+        )
+        self.server_host = Host(self.sim, SERVER_ID)
+        self.response_times = LatencySampler()
+        #: Actions dropped by the Information Bound Model, per client.
+        self.dropped: Dict[ClientId, List[ActionId]] = {}
+        self._build_server()
+        self.clients: Dict[ClientId, ProtocolClient] = {}
+        self.client_hosts: Dict[ClientId, Host] = {}
+        for client_id in range(num_clients):
+            self._attach_client(
+                client_id,
+                (interests or {}).get(client_id),
+            )
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build_server(self) -> None:
+        config = self.config
+        self.state = VersionedStore(
+            self.world.initial_objects(), history_limit=config.history_limit
+        )
+        self.audit = None
+        if config.mode == "basic":
+            self.server: object = BasicServer(
+                self.sim,
+                self.network,
+                self.server_host,
+                eager=True,
+                timestamp_cost_ms=config.costs.timestamp_ms,
+            )
+            self.predicate = None
+            self.info_bound = None
+            return
+        self.predicate = (
+            FirstBoundPredicate(
+                max_speed=self.world.max_speed,
+                rtt_ms=config.rtt_ms,
+                omega=config.omega,
+                use_velocity_culling=config.use_velocity_culling,
+            )
+            if config.mode in ("first-bound", "seve", "hybrid")
+            else None
+        )
+        self.info_bound = (
+            InformationBound(
+                config.threshold,
+                policy=config.info_bound_policy,
+                max_delay_ticks=config.max_delay_ticks,
+            )
+            if config.mode in ("seve", "hybrid")
+            else None
+        )
+        server_kwargs = dict(
+            predicate=self.predicate,
+            info_bound=self.info_bound,
+            tick_ms=config.tick_ms,
+            costs=config.costs,
+            avatar_of=self.world.avatar_of,
+        )
+        if config.mode == "hybrid":
+            from repro.core.hybrid import HybridRelayServer
+
+            self.server = HybridRelayServer(
+                self.sim,
+                self.network,
+                self.server_host,
+                self.state,
+                group_size=config.hybrid_group_size,
+                **server_kwargs,
+            )
+        else:
+            self.server = IncompleteWorldServer(
+                self.sim,
+                self.network,
+                self.server_host,
+                self.state,
+                **server_kwargs,
+            )
+        if config.enable_audit:
+            from repro.metrics.audit import AuditLog
+
+            self.audit = AuditLog(
+                max_speed=self.world.max_speed or None,
+            )
+            self.server.on_commit = (
+                lambda pos, client_id, values: self.audit.record(
+                    pos, client_id, self.sim.now, values
+                )
+            )
+
+    def _attach_client(
+        self, client_id: ClientId, interests: Optional[frozenset[str]]
+    ) -> None:
+        host = Host(self.sim, client_id)
+        incomplete = self.config.mode != "basic"
+        client_config = ClientConfig(
+            send_completions=incomplete,
+            report_all_completions=incomplete and self.config.fault_tolerant,
+            eval_overhead_ms=self.config.eval_overhead_ms,
+            interests=interests,
+        )
+        # Basic-mode clients replicate the full initial state; incomplete
+        # clients start from what they can see — their own avatar — and
+        # grow their replica from server blind writes (unless the
+        # engine is configured to ship the login-time world download).
+        # Static geometry (walls) is known out of band in both cases.
+        if incomplete and not self.config.seed_full_state:
+            stable = self._partial_initial_state(client_id)
+        else:
+            stable = self.state.snapshot()
+        client = ProtocolClient(
+            self.sim,
+            self.network,
+            host,
+            client_id,
+            stable,
+            config=client_config,
+        )
+        client.on_confirmed = self._make_confirm_hook(client_id)
+        client.on_aborted = self._make_abort_hook(client_id)
+        self.clients[client_id] = client
+        self.client_hosts[client_id] = host
+        if isinstance(self.server, BasicServer):
+            self.server.attach_client(client_id)
+        else:
+            self.server.attach_client(
+                client_id,
+                radius=self.world.client_radius(client_id),
+                interests=interests,
+            )
+        self.dropped[client_id] = []
+
+    def _partial_initial_state(self, client_id: ClientId):
+        from repro.state.store import ObjectStore
+
+        store = ObjectStore()
+        avatar_oid = self.world.avatar_of(client_id)
+        if avatar_oid is not None and avatar_oid in self.state:
+            store.put(self.state.get(avatar_oid).copy())
+        return store
+
+    def _make_confirm_hook(self, client_id: ClientId) -> Callable[[Action, TimeMs], None]:
+        def hook(action: Action, response_ms: TimeMs) -> None:
+            self.response_times.record(response_ms, client_id)
+
+        return hook
+
+    def _make_abort_hook(self, client_id: ClientId) -> Callable[[ActionId], None]:
+        def hook(action_id: ActionId) -> None:
+            self.dropped[client_id].append(action_id)
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
+        """Install the server's periodic processes (no-op for basic)."""
+        if isinstance(self.server, IncompleteWorldServer):
+            self.server.start(stop_at=stop_at)
+
+    def client(self, client_id: ClientId) -> ProtocolClient:
+        """The protocol client for ``client_id``."""
+        return self.clients[client_id]
+
+    def planning_store(self, client_id: ClientId):
+        """The replica a client plans its next action from: ζ_CO.
+
+        (Uniform accessor shared with the baseline engines so the
+        workload generator can drive any architecture.)
+        """
+        return self.clients[client_id].optimistic
+
+    def submit(self, client_id: ClientId, action: Action) -> None:
+        """Submit an action on behalf of ``client_id``."""
+        self.clients[client_id].submit(action)
+
+    def run(self, until: Optional[TimeMs] = None) -> None:
+        """Advance the simulation (see :meth:`Simulator.run`)."""
+        self.sim.run(until=until)
+
+    def run_to_quiescence(self, max_extra_ms: TimeMs = 600_000.0) -> None:
+        """Drain all in-flight work after the workload stops submitting.
+
+        Stops the server's periodic processes once every pending action
+        has been confirmed or aborted, then drains remaining events.
+        """
+        deadline = self.sim.now + max_extra_ms
+        while self.sim.now < deadline:
+            if not self.sim.step():
+                break
+            if self._quiescent():
+                break
+        if isinstance(self.server, IncompleteWorldServer):
+            self.server.stop()
+        self.sim.run(until=min(self.sim.now + 1.0, deadline))
+
+    def _quiescent(self) -> bool:
+        if any(client.pending_count for client in self.clients.values()):
+            return False
+        if isinstance(self.server, IncompleteWorldServer):
+            return self.server.uncommitted_count == 0
+        return True
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def total_dropped(self) -> int:
+        """Actions dropped by the Information Bound Model."""
+        return sum(len(ids) for ids in self.dropped.values())
+
+    @property
+    def drop_percent(self) -> float:
+        """Dropped actions as a percentage of all submissions."""
+        submitted = sum(client.stats.submitted for client in self.clients.values())
+        if submitted == 0:
+            return 0.0
+        return 100.0 * self.total_dropped / submitted
+
+    def __repr__(self) -> str:
+        return (
+            f"SeveEngine(mode={self.config.mode!r}, "
+            f"clients={len(self.clients)}, t={self.sim.now:.0f}ms)"
+        )

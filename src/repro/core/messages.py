@@ -1,0 +1,164 @@
+"""Protocol messages exchanged between clients and the server.
+
+Messages are plain dataclasses; their simulated wire size is computed by
+:func:`wire_size` so that the traffic meter (Figure 9) sees realistic
+relative magnitudes without a real serialization format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.action import Action, ActionId, ActionResult
+from repro.types import ClientId, TimeMs
+
+
+@dataclass(frozen=True)
+class SubmitAction:
+    """Client -> server: a freshly created action to be serialized."""
+
+    action: Action
+
+
+@dataclass(frozen=True)
+class OrderedAction:
+    """One entry of the server's serialized stream.
+
+    ``pos`` is the action's global order number (its position in the
+    server queue); clients apply entries in stream order.
+    """
+
+    pos: int
+    action: Action
+
+
+@dataclass(frozen=True)
+class ActionBatch:
+    """Server -> client: an ordered batch of actions.
+
+    In the basic protocol this is "all actions you have not seen yet";
+    in the Incomplete World / First Bound models it is a transitive
+    closure (with a blind-write prefix carried as an entry with
+    ``pos = -1``) or a proactive push.  ``last_installed`` piggybacks the
+    server's commit frontier for client-side garbage collection.
+    """
+
+    entries: Tuple[OrderedAction, ...]
+    last_installed: int = -1
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Client -> server: stable result *u* of an action (Algorithm 4
+    step 5), enabling the server to install ζ_S(i)."""
+
+    pos: int
+    action_id: ActionId
+    result: ActionResult
+    #: Which client produced the completion (relevant in the
+    #: fault-tolerant mode where every evaluating client responds).
+    reporter: ClientId = -2
+
+
+@dataclass(frozen=True)
+class AbortNotice:
+    """Server -> originating client: the Information Bound Model dropped
+    this action; roll back its optimistic effects."""
+
+    action_id: ActionId
+
+
+@dataclass(frozen=True)
+class StateUpdate:
+    """Server -> client (Central/RING baselines): authoritative values.
+
+    ``cause`` identifies the action whose evaluation produced the
+    update, so the originator can measure its response time.
+    """
+
+    values: tuple  # canonicalised like ActionResult.written
+    cause: Optional[ActionId] = None
+    submitted_at: TimeMs = 0.0
+
+
+@dataclass(frozen=True)
+class PeerForward:
+    """Server -> relay peer: a batch to pass on to ``final_dst``.
+
+    The Section VII hybrid architecture: the server sends one copy to a
+    relay client, which forwards it over a peer link — server egress is
+    spent once, the relay pays the second hop.
+    """
+
+    final_dst: ClientId
+    payload: "ActionBatch"
+
+
+@dataclass(frozen=True)
+class GroupBundle:
+    """Server -> relay head: one push cycle's batches for a relay group,
+    with shared entries deduplicated (§VII hybrid).
+
+    ``shared`` holds each queued action once; ``members`` maps each
+    recipient to a sequence whose items are either an ``int`` (index
+    into ``shared``) or an :class:`OrderedAction` carrying a
+    member-specific blind write.  The head reconstructs each member's
+    :class:`ActionBatch` and forwards it over a peer link (keeping its
+    own batch for itself).  On the wire, a shared entry costs its full
+    size exactly once and 4 bytes per additional reference — that is
+    the egress saving over unicasting overlapping batches.
+    """
+
+    shared: Tuple[OrderedAction, ...]
+    members: Tuple[Tuple[ClientId, tuple], ...]
+    last_installed: int = -1
+
+
+@dataclass(frozen=True)
+class RelayedAction:
+    """Server -> client (Broadcast/RING baselines): a raw forwarded
+    action for local evaluation."""
+
+    action: Action
+    submitted_at: TimeMs = 0.0
+
+
+def wire_size(message: object) -> int:
+    """Simulated size in bytes of a protocol message.
+
+    Sizes: actions self-report (:meth:`Action.wire_size`); results and
+    state updates cost 12 bytes per written attribute plus 8 per object;
+    fixed headers cover ids and positions.
+    """
+    if isinstance(message, SubmitAction):
+        return 16 + message.action.wire_size()
+    if isinstance(message, OrderedAction):
+        return 8 + message.action.wire_size()
+    if isinstance(message, ActionBatch):
+        return 16 + sum(8 + entry.action.wire_size() for entry in message.entries)
+    if isinstance(message, Completion):
+        return 32 + _result_size(message.result)
+    if isinstance(message, AbortNotice):
+        return 24
+    if isinstance(message, StateUpdate):
+        return 24 + sum(8 + 12 * len(attrs) for _, attrs in message.values)
+    if isinstance(message, RelayedAction):
+        return 24 + message.action.wire_size()
+    if isinstance(message, PeerForward):
+        return 8 + wire_size(message.payload)
+    if isinstance(message, GroupBundle):
+        size = 16 + sum(8 + entry.action.wire_size() for entry in message.shared)
+        for _, items in message.members:
+            size += 8
+            for item in items:
+                if isinstance(item, int):
+                    size += 4  # reference into the shared table
+                else:
+                    size += 8 + item.action.wire_size()
+        return size
+    raise TypeError(f"not a protocol message: {type(message).__name__}")
+
+
+def _result_size(result: ActionResult) -> int:
+    return sum(8 + 12 * len(attrs) for _, attrs in result.written)

@@ -1,0 +1,101 @@
+"""The client's pending queue Q of Algorithms 1 and 4.
+
+Q holds ⟨a_i, v_i⟩ pairs — locally generated actions not yet received
+back from the server, with their optimistic results — and maintains the
+write-set union WS(Q) incrementally, because Algorithm 1/4 step 4 tests
+``x ∉ WS(Q)`` for every write of every remote action.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.action import Action, ActionId, ActionResult
+from repro.errors import ProtocolError
+from repro.types import ObjectId
+
+
+class PendingQueue:
+    """FIFO of ⟨action, optimistic result⟩ with incremental WS(Q).
+
+    The write-set union counts multiplicity so that removing one action
+    does not forget objects still written by another pending action.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Action, ActionResult]] = []
+        self._ws_counts: Counter[ObjectId] = Counter()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Action, ActionResult]]:
+        return iter(self._entries)
+
+    def actions(self) -> List[Action]:
+        """The pending actions, oldest first."""
+        return [action for action, _ in self._entries]
+
+    def push(self, action: Action, optimistic_result: ActionResult) -> None:
+        """Append ⟨a, v⟩ (Algorithm 1/4 step 2)."""
+        self._entries.append((action, optimistic_result))
+        self._ws_counts.update(action.writes)
+
+    def head(self) -> Tuple[Action, ActionResult]:
+        """The oldest pending entry ⟨a_1, v_1⟩."""
+        if not self._entries:
+            raise ProtocolError("pending queue is empty")
+        return self._entries[0]
+
+    def pop_head(self) -> Tuple[Action, ActionResult]:
+        """Remove and return ⟨a_1, v_1⟩ (own action confirmed)."""
+        if not self._entries:
+            raise ProtocolError("pending queue is empty")
+        action, result = self._entries.pop(0)
+        self._ws_counts.subtract(action.writes)
+        self._prune_counts()
+        return action, result
+
+    def remove(self, action_id: ActionId) -> Optional[Action]:
+        """Remove the entry for ``action_id`` wherever it sits.
+
+        Used when the server aborts (drops) a pending action.  Returns
+        the removed action, or ``None`` when not present (e.g. the
+        abort raced with normal confirmation).
+        """
+        for index, (action, _) in enumerate(self._entries):
+            if action.action_id == action_id:
+                del self._entries[index]
+                self._ws_counts.subtract(action.writes)
+                self._prune_counts()
+                return action
+        return None
+
+    def replace_result(self, index: int, result: ActionResult) -> None:
+        """Overwrite the stored optimistic result of entry ``index``
+        (reconciliation re-evaluates every queued action)."""
+        action, _ = self._entries[index]
+        self._entries[index] = (action, result)
+
+    def contains(self, action_id: ActionId) -> bool:
+        """Whether an entry for ``action_id`` is pending."""
+        return any(action.action_id == action_id for action, _ in self._entries)
+
+    def write_set(self) -> frozenset[ObjectId]:
+        """WS(Q): objects written by at least one pending action."""
+        return frozenset(oid for oid, count in self._ws_counts.items() if count > 0)
+
+    def writes(self, oid: ObjectId) -> bool:
+        """Fast membership test ``oid ∈ WS(Q)``."""
+        return self._ws_counts.get(oid, 0) > 0
+
+    def _prune_counts(self) -> None:
+        # Counter.subtract leaves zero/negative entries behind; drop
+        # them so write_set() and memory stay proportional to Q.
+        zeroed = [oid for oid, count in self._ws_counts.items() if count <= 0]
+        for oid in zeroed:
+            del self._ws_counts[oid]

@@ -1,0 +1,135 @@
+"""The basic serializer server — Algorithm 2 of the paper.
+
+The server's only functions are to timestamp and serialize the actions
+of the clients and to manage delivery; it executes no game logic.  For
+each client C it remembers ``pos_C``, the queue position of the last
+action sent to C; when C submits an action, the server assigns the
+action its global order number and replies with *all* actions between
+``pos_C`` and the new position (so every client eventually executes
+every action — the property that makes this first protocol consistent
+but unscalable, Section III-A).
+
+``eager=True`` additionally pushes each newly serialized action to all
+clients immediately instead of waiting for their next submission.  That
+variant is the paper's Broadcast comparison point (NPSNET/SIMNET-style
+full fan-out) and is what the Figure 6/7/9 "Broadcast" series runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.action import Action
+from repro.core.messages import ActionBatch, OrderedAction, SubmitAction, wire_size
+from repro.errors import ProtocolError
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.types import SERVER_ID, ClientId
+
+
+@dataclass
+class BasicServerStats:
+    """Counters for the serializer server."""
+
+    actions_serialized: int = 0
+    batches_sent: int = 0
+    actions_delivered: int = 0  # sum over batches of entries sent
+
+
+class BasicServer:
+    """Timestamp-and-serialize server (Algorithm 2).
+
+    ``timestamp_cost_ms`` is the CPU cost of serializing one action
+    (near zero — the point of the architecture is that the server does
+    no game logic).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: Host,
+        *,
+        eager: bool = False,
+        timestamp_cost_ms: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.eager = eager
+        self.timestamp_cost_ms = timestamp_cost_ms
+        #: The global action queue; index == order number pos(a).
+        self.queue: List[Action] = []
+        #: pos_C per client: index of the last action sent to C
+        #: (-1 before anything was sent).
+        self.pos: Dict[ClientId, int] = {}
+        self.stats = BasicServerStats()
+        network.register(SERVER_ID, self._on_message)
+
+    def attach_client(self, client_id: ClientId) -> None:
+        """Start tracking a client (pos_C = -1: nothing sent yet)."""
+        if client_id in self.pos:
+            raise ProtocolError(f"client {client_id} already attached")
+        self.pos[client_id] = -1
+
+    def detach_client(self, client_id: ClientId) -> None:
+        """Stop tracking a client (failure/disconnect)."""
+        self.pos.pop(client_id, None)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, src: ClientId, payload: object) -> None:
+        if not isinstance(payload, SubmitAction):
+            raise ProtocolError(
+                f"basic server: unexpected message {type(payload).__name__}"
+            )
+        action = payload.action
+
+        def serialize() -> None:
+            self._serialize_and_reply(src, action)
+
+        self.host.execute(self.timestamp_cost_ms, serialize)
+
+    def _serialize_and_reply(self, src: ClientId, action: Action) -> None:
+        if src not in self.pos:
+            raise ProtocolError(f"submission from unattached client {src}")
+        position = len(self.queue)
+        self.queue.append(action)
+        self.stats.actions_serialized += 1
+        if self.eager:
+            # Push the new action to every client right away; the reply
+            # batch below still covers anything a client may have missed
+            # (e.g. actions serialized before it attached).
+            entry = OrderedAction(position, action)
+            for client_id in self.pos:
+                if self.pos[client_id] >= position:
+                    continue
+                self._send_batch(client_id, [entry])
+                self.pos[client_id] = position
+        else:
+            self._reply_window(src, position)
+
+    def _reply_window(self, client_id: ClientId, upto: int) -> None:
+        """Send all actions in (pos_C, upto] to ``client_id`` and
+        advance pos_C (Algorithm 2 step (b))."""
+        start = self.pos[client_id] + 1
+        entries = [
+            OrderedAction(position, self.queue[position])
+            for position in range(start, upto + 1)
+        ]
+        if not entries:
+            return
+        self._send_batch(client_id, entries)
+        self.pos[client_id] = upto
+
+    def _send_batch(self, client_id: ClientId, entries: List[OrderedAction]) -> None:
+        batch = ActionBatch(tuple(entries))
+        self.network.send(SERVER_ID, client_id, batch, wire_size(batch))
+        self.stats.batches_sent += 1
+        self.stats.actions_delivered += len(entries)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of serialized actions so far."""
+        return len(self.queue)

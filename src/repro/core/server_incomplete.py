@@ -1,0 +1,464 @@
+"""The Incomplete World server — Algorithm 5 of the paper, plus the
+First Bound push schedule (Section III-D) and Information Bound
+validation (Section III-E) that together make up the full SEVE server.
+
+Responsibilities (and *only* these — the server runs no game logic):
+
+1. **Timestamp & serialize** every submitted action into the global
+   queue (positions are the virtual timestamps).
+2. **Distribute** to each client the actions that can affect it:
+   reactively (Algorithm 5: reply to each submission with the
+   transitive closure of Algorithm 6) or proactively (First Bound
+   Model: push every ω·RTT everything passing the Equation (1)
+   predicate, closed transitively).
+3. **Validate** new actions each tick against the Information Bound
+   threshold, dropping chain-breakers (Algorithm 7) and notifying the
+   originator.
+4. **Commit**: buffer completion messages and install each action's
+   stable result into the authoritative state ζ_S strictly in queue
+   order (ζ_S(i) requires ζ_S(i−1)), garbage-collecting the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.action import Action, BlindWrite
+from repro.core.closure import KnownValuesTracker, QueueEntry, transitive_closure
+from repro.core.first_bound import FirstBoundPredicate
+from repro.core.info_bound import InformationBound
+from repro.core.interest import is_consequential
+from repro.core.messages import (
+    AbortNotice,
+    ActionBatch,
+    Completion,
+    OrderedAction,
+    SubmitAction,
+    wire_size,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.state.versioned import VersionedStore
+from repro.types import SERVER_ID, ClientId, ObjectId, TimeMs
+from repro.world.geometry import Vec2
+
+
+@dataclass
+class ServerCosts:
+    """Simulated CPU costs of the server's bookkeeping, in ms.
+
+    Defaults are calibrated to the paper's measurements: 0.04 ms per
+    transitive-closure computation, with timestamping and per-entry push
+    overhead sized so a single server saturates around the paper's
+    empirically determined limit of ~3500 clients.
+    """
+
+    timestamp_ms: float = 0.02
+    closure_ms: float = 0.04
+    push_entry_ms: float = 0.02
+    validate_ms: float = 0.01
+
+
+@dataclass
+class ClientRecord:
+    """Per-client distribution state."""
+
+    client_id: ClientId
+    #: r_C — the maximum influence radius of the client's actions.
+    radius: float
+    #: Interest classes (Section IV-A); ``None`` = everything.
+    interests: Optional[frozenset[str]] = None
+    #: Queue position up to which push candidates have been considered.
+    scanned_pos: int = -1
+    #: Virtual time the client's committed position last changed
+    #: (t_C for the Section IV-B velocity-culled predicate).
+    position_time: TimeMs = 0.0
+
+
+@dataclass
+class IncompleteServerStats:
+    """Server-side counters read by the harness."""
+
+    actions_serialized: int = 0
+    actions_dropped: int = 0
+    actions_committed: int = 0
+    closures_computed: int = 0
+    entries_distributed: int = 0
+    blind_writes_sent: int = 0
+    blind_objects_sent: int = 0
+    batches_sent: int = 0
+    push_cycles: int = 0
+
+
+class IncompleteWorldServer:
+    """SEVE's server: Algorithms 5 + 6, First Bound, Information Bound.
+
+    Modes
+    -----
+    * ``predicate=None`` — reactive Incomplete World Model: each
+      submission is answered with its Algorithm 6 closure.
+    * ``predicate=FirstBoundPredicate(...)`` — First Bound Model: the
+      server pushes every ``predicate.push_interval_ms``.
+    * ``info_bound=InformationBound(...)`` — adds Algorithm 7 dropping
+      (requires push mode: validation is tick-aligned, and reactive
+      replies would race the verdicts).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: Host,
+        state: VersionedStore,
+        *,
+        predicate: Optional[FirstBoundPredicate] = None,
+        info_bound: Optional[InformationBound] = None,
+        tick_ms: TimeMs = 100.0,
+        costs: Optional[ServerCosts] = None,
+        avatar_of: Optional[Callable[[ClientId], ObjectId]] = None,
+    ) -> None:
+        if info_bound is not None and predicate is None:
+            raise ConfigurationError(
+                "the Information Bound Model requires First Bound pushes "
+                "(tick-aligned validation cannot serve reactive replies)"
+            )
+        if tick_ms <= 0:
+            raise ConfigurationError(f"tick must be positive, got {tick_ms}")
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.state = state
+        self.predicate = predicate
+        self.info_bound = info_bound
+        self.tick_ms = tick_ms
+        self.costs = costs or ServerCosts()
+        self.avatar_of = avatar_of
+        self.known = KnownValuesTracker()
+        self.stats = IncompleteServerStats()
+        #: Optional hook fired after each commit with
+        #: ``(pos, client_id, values)`` — the audit log attaches here.
+        self.on_commit: Optional[
+            Callable[[int, ClientId, Dict[ObjectId, dict]], None]
+        ] = None
+        self.clients: Dict[ClientId, ClientRecord] = {}
+        self._entries: List[QueueEntry] = []
+        self._next_pos = 0
+        self._base_pos = 0  # pos of _entries[0]; == _next_pos when empty
+        self._validated_upto = -1
+        self._blind_seq = 0
+        self._stoppers: List[Callable[[], None]] = []
+        network.register(SERVER_ID, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach_client(
+        self,
+        client_id: ClientId,
+        *,
+        radius: float = 0.0,
+        interests: Optional[frozenset[str]] = None,
+    ) -> None:
+        """Register a client for distribution (before the run starts)."""
+        if client_id in self.clients:
+            raise ProtocolError(f"client {client_id} already attached")
+        self.clients[client_id] = ClientRecord(
+            client_id,
+            radius=radius,
+            interests=interests,
+            scanned_pos=self._next_pos - 1,
+        )
+
+    def detach_client(self, client_id: ClientId) -> None:
+        """Unregister a failed/departed client."""
+        self.clients.pop(client_id, None)
+        self.known.forget_client(client_id)
+
+    def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
+        """Install the periodic processes (validation tick, push cycle)."""
+        if self.info_bound is not None:
+            self._stoppers.append(
+                self.sim.call_every(self.tick_ms, self._validation_tick, stop_at=stop_at)
+            )
+        if self.predicate is not None:
+            self._stoppers.append(
+                self.sim.call_every(
+                    self.predicate.push_interval_ms, self._push_cycle, stop_at=stop_at
+                )
+            )
+
+    def stop(self) -> None:
+        """Tear down the periodic processes."""
+        for stopper in self._stoppers:
+            stopper()
+        self._stoppers.clear()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, src: ClientId, payload: object) -> None:
+        if isinstance(payload, SubmitAction):
+            action = payload.action
+            cost = self.costs.timestamp_ms
+            if self.predicate is None:
+                cost += self.costs.closure_ms
+            self.host.execute(cost, lambda: self._admit(src, action))
+        elif isinstance(payload, Completion):
+            self._record_completion(src, payload)
+        else:
+            raise ProtocolError(
+                f"incomplete server: unexpected {type(payload).__name__} from {src}"
+            )
+
+    def _admit(self, src: ClientId, action: Action) -> None:
+        """Algorithm 5 step 3(a): timestamp and enqueue."""
+        if src not in self.clients:
+            return  # submission raced a detach; drop silently
+        entry = QueueEntry(self._next_pos, action, arrived_at=self.sim.now)
+        self._next_pos += 1
+        self._entries.append(entry)
+        self.stats.actions_serialized += 1
+        if self.info_bound is None:
+            entry.valid = True
+            self._validated_upto = entry.pos
+        if self.predicate is None:
+            self._reply(src, entry)
+
+    # ------------------------------------------------------------------
+    # Reactive replies (plain Incomplete World Model)
+    # ------------------------------------------------------------------
+    def _reply(self, client_id: ClientId, entry: QueueEntry) -> None:
+        """Algorithm 5 step 3(b): answer a submission with its closure."""
+        batch_entries, _ = self._closure_entries(client_id, entry)
+        self._send_batch(client_id, batch_entries)
+
+    def _closure_entries(
+        self, client_id: ClientId, entry: QueueEntry
+    ) -> Tuple[List[OrderedAction], float]:
+        """Compute Algorithm 6's reply A for ``entry`` -> ``client_id``.
+
+        Returns the ordered wire entries (blind-write prefix included)
+        and the simulated CPU cost of computing them.
+        """
+        index = entry.pos - self._base_pos
+        chain, seed = transitive_closure(self._entries, index, client_id)
+        self.stats.closures_computed += 1
+        cost = self.costs.closure_ms
+        batch_entries: List[OrderedAction] = []
+        seed_needed = self.known.filter_seed(client_id, seed)
+        if seed_needed:
+            blind = BlindWrite.from_server(
+                self._blind_seq, self.state.values_of(seed_needed)
+            )
+            self._blind_seq += 1
+            self.known.record_blind_write(client_id, seed_needed)
+            self.stats.blind_writes_sent += 1
+            self.stats.blind_objects_sent += len(seed_needed)
+            batch_entries.append(OrderedAction(-1, blind))
+        for chain_index in chain:
+            chained = self._entries[chain_index]
+            batch_entries.append(OrderedAction(chained.pos, chained.action))
+            cost += self.costs.push_entry_ms
+        return batch_entries, cost
+
+    def _send_batch(
+        self, client_id: ClientId, batch_entries: List[OrderedAction]
+    ) -> None:
+        if not batch_entries:
+            return
+        batch = ActionBatch(tuple(batch_entries), last_installed=self._base_pos - 1)
+        self.network.send(SERVER_ID, client_id, batch, wire_size(batch))
+        self.stats.batches_sent += 1
+        self.stats.entries_distributed += len(batch_entries)
+
+    # ------------------------------------------------------------------
+    # Information Bound validation (Algorithm 7, every tick)
+    # ------------------------------------------------------------------
+    def _validation_tick(self) -> None:
+        assert self.info_bound is not None
+        first_new = self._validated_upto + 1 - self._base_pos
+        if first_new >= len(self._entries):
+            return
+        new_count = len(self._entries) - first_new
+        dropped_indices = self.info_bound.validate(self._entries, first_new)
+        # Advance the contiguous validation frontier; under the delay
+        # policy a deferred entry (valid still None) stops it early.
+        for entry in self._entries[first_new:]:
+            if entry.valid is None:
+                break
+            self._validated_upto = entry.pos
+        cost = self.costs.validate_ms * new_count
+
+        notices = []
+        for index in dropped_indices:
+            entry = self._entries[index]
+            self.stats.actions_dropped += 1
+            notices.append((entry.action.client_id, AbortNotice(entry.action.action_id)))
+
+        def notify() -> None:
+            for client_id, notice in notices:
+                if client_id in self.clients:
+                    self.network.send(SERVER_ID, client_id, notice, wire_size(notice))
+
+        self.host.execute(cost, notify)
+        # Dropped entries may have been the only thing stalling the
+        # commit frontier (they need no completion).
+        self._advance_frontier()
+
+    # ------------------------------------------------------------------
+    # First Bound pushes (every omega * RTT)
+    # ------------------------------------------------------------------
+    def _push_cycle(self) -> None:
+        assert self.predicate is not None
+        self.stats.push_cycles += 1
+        batches: List[Tuple[ClientId, List[OrderedAction]]] = []
+        total_cost = 0.0
+        for record in self.clients.values():
+            batch_entries, cost = self._collect_push(record)
+            total_cost += cost
+            if batch_entries:
+                batches.append((record.client_id, batch_entries))
+
+        def send_all() -> None:
+            self._distribute_batches(
+                [
+                    (client_id, batch_entries)
+                    for client_id, batch_entries in batches
+                    if client_id in self.clients
+                ]
+            )
+
+        self.host.execute(total_cost, send_all)
+
+    def _distribute_batches(
+        self, batches: List[Tuple[ClientId, List[OrderedAction]]]
+    ) -> None:
+        """Deliver one push cycle's batches (hook: the hybrid relay
+        server overrides this to bundle per relay group)."""
+        for client_id, batch_entries in batches:
+            self._send_batch(client_id, batch_entries)
+
+    def _collect_push(
+        self, record: ClientRecord
+    ) -> Tuple[List[OrderedAction], float]:
+        """All validated actions in (scanned, validated] that this client
+        needs — Equation (1) survivors, own actions, and their closures."""
+        start = max(record.scanned_pos + 1, self._base_pos)
+        client_position = self._client_position(record.client_id)
+        batch_entries: List[OrderedAction] = []
+        cost = 0.0
+        for pos in range(start, self._validated_upto + 1):
+            entry = self._entries[pos - self._base_pos]
+            if entry.valid is False or record.client_id in entry.sent:
+                continue
+            if not self._wants(record, entry, client_position):
+                continue
+            closure_entries, closure_cost = self._closure_entries(
+                record.client_id, entry
+            )
+            batch_entries.extend(closure_entries)
+            cost += closure_cost
+        record.scanned_pos = max(record.scanned_pos, self._validated_upto)
+        return batch_entries, cost
+
+    def _wants(
+        self,
+        record: ClientRecord,
+        entry: QueueEntry,
+        client_position: Optional[Vec2],
+    ) -> bool:
+        action = entry.action
+        if action.client_id == record.client_id:
+            return True  # own actions always come back (Algorithm 4 step 5)
+        if not is_consequential(action.interest_class, record.interests):
+            return False  # Section IV-A: inconsequential to this client
+        assert self.predicate is not None
+        return self.predicate.affects(
+            action,
+            client_position,
+            record.radius,
+            action_time=entry.arrived_at,
+            client_position_time=record.position_time,
+        )
+
+    def _client_position(self, client_id: ClientId) -> Optional[Vec2]:
+        """The client's committed position p̄_C (from ζ_S), if known."""
+        if self.avatar_of is None:
+            return None
+        avatar_oid = self.avatar_of(client_id)
+        if avatar_oid is None or avatar_oid not in self.state:
+            return None
+        obj = self.state.get(avatar_oid)
+        if "x" not in obj or "y" not in obj:
+            return None
+        return Vec2(float(obj["x"]), float(obj["y"]))
+
+    # ------------------------------------------------------------------
+    # Commit path (Algorithm 5 step 4)
+    # ------------------------------------------------------------------
+    def _record_completion(self, src: ClientId, message: Completion) -> None:
+        if message.pos < self._base_pos:
+            return  # already installed (duplicate from fault-tolerant mode)
+        index = message.pos - self._base_pos
+        if index >= len(self._entries):
+            raise ProtocolError(
+                f"completion for unknown pos {message.pos} "
+                f"(queue covers [{self._base_pos}, {self._next_pos}))"
+            )
+        entry = self._entries[index]
+        if entry.action.action_id != message.action_id:
+            raise ProtocolError(
+                f"completion id mismatch at pos {message.pos}: "
+                f"{entry.action.action_id} vs {message.action_id}"
+            )
+        entry.record_completion(message.result, src)
+        self._advance_frontier()
+
+    def _advance_frontier(self) -> None:
+        """Install ready entries in strict queue order; GC the queue."""
+        while self._entries and self._entries[0].committed_ready:
+            entry = self._entries.pop(0)
+            self._base_pos = entry.pos + 1
+            if entry.valid is False:
+                continue
+            assert entry.completion is not None
+            values = entry.completion.values()
+            self.state.merge(values, commit_index=entry.pos)
+            self.known.record_commit(
+                entry.pos, entry.completion.written_ids(), entry.sent
+            )
+            self.stats.actions_committed += 1
+            self._note_position_change(entry)
+            if self.on_commit is not None:
+                self.on_commit(entry.pos, entry.action.client_id, values)
+
+    def _note_position_change(self, entry: QueueEntry) -> None:
+        """Track t_C for velocity culling: the originator's committed
+        position just (potentially) changed."""
+        record = self.clients.get(entry.action.client_id)
+        if record is not None and self.avatar_of is not None:
+            avatar_oid = self.avatar_of(record.client_id)
+            if avatar_oid is not None and avatar_oid in entry.action.writes:
+                record.position_time = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def uncommitted_count(self) -> int:
+        """Live (serialized but not yet installed) actions."""
+        return len(self._entries)
+
+    @property
+    def commit_frontier(self) -> int:
+        """Position of the last installed action (-1 initially)."""
+        return self._base_pos - 1
+
+    def __repr__(self) -> str:
+        return (
+            f"IncompleteWorldServer(committed={self.stats.actions_committed}, "
+            f"live={len(self._entries)}, clients={len(self.clients)})"
+        )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a simulator
+    that has already been shut down.
+    """
+
+
+class NetworkError(ReproError):
+    """A message was sent between hosts that are not connected."""
+
+
+class MissingObjectError(ReproError, KeyError):
+    """A world-state lookup referenced an object id that is not present.
+
+    Inherits :class:`KeyError` so that store lookups behave like mapping
+    lookups for callers that expect mapping semantics.
+    """
+
+    def __init__(self, oid: object) -> None:
+        super().__init__(oid)
+        self.oid = oid
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the args
+        return f"object {self.oid!r} is not present in this store"
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (client or server side).
+
+    This indicates a bug in a protocol implementation or a malformed
+    message, never a legal runtime condition.
+    """
+
+
+class ActionAborted(ReproError):
+    """An action detected a fatal conflict during stable re-execution.
+
+    Per the paper (Section III-A, following Bayou), an aborting action
+    behaves as a no-op; this exception is used internally by action
+    implementations to signal the abort and is always caught by the
+    protocol layer.
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment or engine was configured with invalid parameters."""

@@ -1,0 +1,19 @@
+"""Experiment harness: Table I settings, the Manhattan People workload,
+an architecture factory, a run driver, and per-figure experiment
+drivers that regenerate every table and figure of the paper's
+evaluation (see DESIGN.md's experiments index).
+"""
+
+from repro.harness.architectures import ARCHITECTURES, build_engine
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import RunResult, run_simulation
+from repro.harness.workload import MoveWorkload
+
+__all__ = [
+    "ARCHITECTURES",
+    "MoveWorkload",
+    "RunResult",
+    "SimulationSettings",
+    "build_engine",
+    "run_simulation",
+]

@@ -1,0 +1,152 @@
+"""Architecture factory: build any evaluated system from settings.
+
+Architecture names
+------------------
+``central``
+    The Central model (Second Life / WoW) — server-evaluated actions.
+``broadcast``
+    The Broadcast model (NPSNET / SIMNET) — relay to all, evaluate
+    everywhere.
+``ring``
+    The RING-like model — visibility-filtered relay (inconsistent).
+``seve``
+    Full SEVE: Incomplete World + First Bound pushes + Information
+    Bound dropping.
+``seve-naive``
+    SEVE without move dropping (First Bound only) — the "SEVE (without
+    move dropping)" series of Figure 8.
+``seve-basic``
+    The first action-based protocol (Algorithms 1-3): every client
+    evaluates everything.  Computationally equivalent to Broadcast but
+    implemented with the optimistic/stable machinery.
+``incomplete``
+    The reactive Incomplete World Model (Algorithms 4-6, no pushes).
+``locking``
+    The Section II-B distributed-locking protocol (Project Darkstar
+    style): lock request -> grant -> local execution -> effect
+    broadcast, i.e. 2x RTT per conflicting transaction.
+``timestamp``
+    The Section II-B timestamp-ordered optimistic protocol: tentative
+    local execution, server-side backward validation, abort + retry.
+``zoned``
+    Section II-A zoning: Central evaluation tiled over a 3x3 grid of
+    zone servers; scales with spread-out players, collapses under
+    crowding.
+``seve-hybrid``
+    Full SEVE with Section VII's hybrid P2P fan-out: push batches are
+    deduplicated per relay group and forwarded by peer heads, trading
+    server egress for one peer hop of latency.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.baselines.broadcast import BroadcastEngine
+from repro.baselines.central import CentralEngine
+from repro.baselines.common import BaselineConfig, BaselineEngine
+from repro.baselines.locking import LockingEngine
+from repro.baselines.ring import RingEngine
+from repro.baselines.timestamp import TimestampEngine
+from repro.baselines.zoned import ZonedCentralEngine
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.errors import ConfigurationError
+from repro.harness.config import SimulationSettings
+from repro.world.manhattan import ManhattanWorld
+
+Engine = Union[SeveEngine, BaselineEngine]
+
+#: All buildable architecture names.
+ARCHITECTURES = (
+    "central",
+    "broadcast",
+    "ring",
+    "seve",
+    "seve-naive",
+    "seve-basic",
+    "incomplete",
+    "locking",
+    "timestamp",
+    "zoned",
+    "seve-hybrid",
+)
+
+_SEVE_MODES = {
+    "seve": "seve",
+    "seve-naive": "first-bound",
+    "seve-basic": "basic",
+    "incomplete": "incomplete",
+    "seve-hybrid": "hybrid",
+}
+
+
+def build_world(settings: SimulationSettings) -> ManhattanWorld:
+    """The Manhattan People world for these settings."""
+    return ManhattanWorld(settings.num_clients, settings.manhattan_config())
+
+
+def build_engine(
+    architecture: str,
+    settings: SimulationSettings,
+    world: ManhattanWorld = None,
+) -> Engine:
+    """Assemble a ready-to-run engine for ``architecture``.
+
+    ``world`` may be passed in to share one (expensively indexed) wall
+    field across several runs of the same settings.
+    """
+    if world is None:
+        world = build_world(settings)
+    if architecture in _SEVE_MODES:
+        config = SeveConfig(
+            mode=_SEVE_MODES[architecture],
+            rtt_ms=settings.rtt_ms,
+            bandwidth_bps=settings.bandwidth_bps,
+            omega=settings.omega,
+            tick_ms=settings.tick_ms,
+            threshold=settings.effective_threshold,
+            info_bound_policy=settings.info_bound_policy,
+            max_delay_ticks=settings.max_delay_ticks,
+            use_velocity_culling=settings.use_velocity_culling,
+            fault_tolerant=settings.fault_tolerant,
+            eval_overhead_ms=settings.eval_overhead_ms,
+        )
+        return SeveEngine(world, settings.num_clients, config)
+    baseline_config = BaselineConfig(
+        rtt_ms=settings.rtt_ms,
+        bandwidth_bps=settings.bandwidth_bps,
+        eval_overhead_ms=settings.eval_overhead_ms,
+    )
+    if architecture == "central":
+        return CentralEngine(
+            world,
+            settings.num_clients,
+            baseline_config,
+            interest_radius=settings.visibility,
+        )
+    if architecture == "broadcast":
+        return BroadcastEngine(world, settings.num_clients, baseline_config)
+    if architecture == "locking":
+        return LockingEngine(world, settings.num_clients, baseline_config)
+    if architecture == "timestamp":
+        return TimestampEngine(world, settings.num_clients, baseline_config)
+    if architecture == "zoned":
+        return ZonedCentralEngine(
+            world,
+            settings.num_clients,
+            baseline_config,
+            zone_grid=3,
+            world_width=settings.world_width,
+            world_height=settings.world_height,
+            interest_radius=settings.visibility,
+        )
+    if architecture == "ring":
+        return RingEngine(
+            world,
+            settings.num_clients,
+            baseline_config,
+            visibility=settings.visibility,
+        )
+    raise ConfigurationError(
+        f"unknown architecture {architecture!r}; expected one of {ARCHITECTURES}"
+    )

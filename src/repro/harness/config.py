@@ -1,0 +1,136 @@
+"""Simulation settings — Table I of the paper, as a dataclass.
+
+=====================  =========================================
+Virtual world size     1000 x 1000
+Number of walls        0 - 100,000
+Number of clients      0 - 64
+Average latency        238 ms
+Maximum bandwidth      100 Kbps
+Moves per client       100
+Move generation rate   every 300 ms per client
+Move effect range      10 units
+Avatar visibility      30 units
+Threshold              1.5 x avatar visibility
+=====================  =========================================
+
+Everything the paper leaves implicit (avatar speed, spawn layout, cost
+calibration, ω, τ) is an explicit, documented field here, so every
+experiment is reproducible from a single value + seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.world.manhattan import ManhattanConfig
+
+#: The paper's measured average evaluation time per move at 100k walls.
+PAPER_MOVE_COST_MS = 7.44
+
+#: The paper's calibration: ms of evaluation per 1000 visible walls.
+PAPER_COST_PER_KWALL_MS = 6.95
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """One experiment's full parameterisation (defaults = Table I)."""
+
+    # -- world -----------------------------------------------------------
+    world_width: float = 1000.0
+    world_height: float = 1000.0
+    num_walls: int = 100_000
+    num_clients: int = 64
+    #: Avatar walking speed (units/s) — the paper's max rate of change s.
+    avatar_speed: float = 10.0
+    visibility: float = 30.0
+    move_effect_range: float = 10.0
+    #: Spawn layout: "cluster" (central square) or "grid" (Figure 8).
+    spawn: str = "cluster"
+    spawn_extent: float = 160.0
+    spawn_spacing: float = 4.0
+
+    # -- network (EMULab emulation) ---------------------------------------
+    rtt_ms: float = 238.0
+    bandwidth_bps: Optional[float] = 100_000.0
+
+    # -- workload ----------------------------------------------------------
+    moves_per_client: int = 100
+    move_interval_ms: float = 300.0
+
+    # -- cost model ----------------------------------------------------------
+    #: "fixed": every move costs ``move_cost_ms``.  "walls": cost scales
+    #: with the walls actually visible around the mover (the paper's
+    #: 6.95 ms per 1000 visible walls).
+    cost_model: str = "fixed"
+    move_cost_ms: float = PAPER_MOVE_COST_MS
+    #: Fixed synchronization/bookkeeping overhead per action evaluation
+    #: (the paper's ~60 ms per 32-action round => ~1.9 ms/action).
+    eval_overhead_ms: float = 1.9
+    cost_per_kwall_ms: float = PAPER_COST_PER_KWALL_MS
+    #: Radius within which walls count as "visible" for the cost model
+    #: (58 units makes 100k walls yield ~1000 visible, matching the
+    #: paper's calibration point).
+    wall_cost_radius: float = 58.0
+
+    # -- protocol ----------------------------------------------------------
+    omega: float = 0.5
+    tick_ms: float = 100.0
+    #: Information Bound threshold; ``None`` = 1.5 x visibility (Table I).
+    threshold: Optional[float] = None
+    #: Chain-breaking policy: "drop" (Algorithm 7) or "delay"
+    #: (Section III-E's sketched alternative).
+    info_bound_policy: str = "drop"
+    max_delay_ticks: int = 3
+    use_velocity_culling: bool = False
+    fault_tolerant: bool = False
+
+    # -- run ------------------------------------------------------------------
+    seed: int = 0
+    #: Hard cap on post-workload drain time.
+    drain_ms: float = 120_000.0
+
+    def __post_init__(self) -> None:
+        if self.cost_model not in ("fixed", "walls"):
+            raise ConfigurationError(f"unknown cost model {self.cost_model!r}")
+        if self.moves_per_client < 0:
+            raise ConfigurationError("moves_per_client must be >= 0")
+        if self.move_interval_ms <= 0:
+            raise ConfigurationError("move_interval_ms must be positive")
+
+    @property
+    def effective_threshold(self) -> float:
+        """Table I's default: 1.5 x avatar visibility."""
+        if self.threshold is not None:
+            return self.threshold
+        return 1.5 * self.visibility
+
+    @property
+    def workload_duration_ms(self) -> float:
+        """Virtual time over which clients generate moves."""
+        return self.moves_per_client * self.move_interval_ms
+
+    def manhattan_config(self) -> ManhattanConfig:
+        """The world configuration this experiment runs on."""
+        return ManhattanConfig(
+            width=self.world_width,
+            height=self.world_height,
+            num_walls=self.num_walls,
+            avatar_speed=self.avatar_speed,
+            visibility=self.visibility,
+            effect_range=self.move_effect_range,
+            move_duration_s=self.move_interval_ms / 1000.0,
+            spawn=self.spawn,
+            spawn_extent=self.spawn_extent,
+            spawn_spacing=self.spawn_spacing,
+            seed=self.seed,
+        )
+
+    def with_clients(self, num_clients: int) -> "SimulationSettings":
+        """This configuration with a different client count (sweeps)."""
+        return replace(self, num_clients=num_clients)
+
+    def with_(self, **changes) -> "SimulationSettings":
+        """This configuration with arbitrary fields replaced."""
+        return replace(self, **changes)

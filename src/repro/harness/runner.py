@@ -1,0 +1,169 @@
+"""End-to-end run driver: build, drive, drain, measure.
+
+:func:`run_simulation` is the single entry point every benchmark and
+example uses: it assembles an architecture, installs the Table I move
+workload, runs the virtual clock until the system quiesces, and returns
+a :class:`RunResult` with the measurements the paper's tables and
+figures report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.engine import SeveEngine
+from repro.harness.architectures import build_engine, build_world
+from repro.harness.config import SimulationSettings
+from repro.harness.workload import MoveWorkload
+from repro.metrics.consistency import (
+    ConsistencyChecker,
+    ConsistencyReport,
+    check_uniform,
+)
+from repro.net.stats import SummaryStats
+from repro.types import SERVER_ID
+from repro.world.manhattan import ManhattanWorld
+
+
+@dataclass
+class RunResult:
+    """Measurements of one simulation run."""
+
+    architecture: str
+    settings: SimulationSettings
+    #: Stable response times (ms) as observed by clients.
+    response: SummaryStats
+    #: Total bytes crossing the network, in KB (all links).
+    total_traffic_kb: float
+    #: Mean per-client traffic (sent + received), in KB — the unit of
+    #: the paper's Figure 9.
+    client_traffic_kb: float
+    #: Server-side traffic (sent + received), in KB.
+    server_traffic_kb: float
+    #: Moves dropped by the Information Bound Model, in percent of
+    #: submissions (Table II / Figure 8).
+    drop_percent: float
+    #: Mean number of other avatars visible at move-planning time
+    #: (Figure 8's x-axis).
+    avg_visible: float
+    #: Mean per-move evaluation cost that the workload realised (ms).
+    avg_move_cost_ms: float
+    #: Theorem 1 verdict over all client replicas at quiescence.
+    consistency: Optional[ConsistencyReport]
+    #: Virtual milliseconds the run spanned.
+    virtual_ms: float
+    #: Wall-clock seconds the simulation took to execute.
+    wall_seconds: float
+    #: Simulator events dispatched.
+    events: int
+    #: Moves the workload submitted.
+    moves_submitted: int
+    #: Confirmed stable responses observed.
+    responses_observed: int
+    #: Total simulated CPU-milliseconds burned across all hosts.
+    total_cpu_ms: float = 0.0
+    #: Simulated CPU-milliseconds the server spent computing transitive
+    #: closures (0 for architectures without closures) — the Figure 10
+    #: "runtime overhead of our strongly consistent approach".
+    closure_cpu_ms: float = 0.0
+
+    @property
+    def closure_overhead_percent(self) -> float:
+        """Closure computation as a share of all CPU work."""
+        if self.total_cpu_ms <= 0:
+            return 0.0
+        return 100.0 * self.closure_cpu_ms / self.total_cpu_ms
+
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean stable response time (ms) — the main figure metric."""
+        return self.response.mean
+
+
+def run_simulation(
+    architecture: str,
+    settings: SimulationSettings,
+    *,
+    world: Optional[ManhattanWorld] = None,
+    check_consistency: bool = True,
+) -> RunResult:
+    """Run one architecture under the Table I workload and measure it."""
+    started = time.perf_counter()
+    if world is None:
+        world = build_world(settings)
+    engine = build_engine(architecture, settings, world)
+    workload = MoveWorkload(engine, world, settings)
+    engine.start()
+    workload.install()
+
+    submit_horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
+    engine.run(until=submit_horizon)
+    engine.run_to_quiescence(max_extra_ms=settings.drain_ms)
+
+    consistency = None
+    if check_consistency:
+        replicas = {
+            client_id: _stable_replica(client)
+            for client_id, client in engine.clients.items()
+        }
+        if architecture in ("seve-basic", "broadcast"):
+            # Full-replication architectures have no advancing server
+            # state; consistency there means all replicas are identical.
+            consistency = check_uniform(replicas)
+        else:
+            consistency = ConsistencyChecker(engine.state).check_all(replicas)
+
+    meter = engine.network.meter
+    num_clients = max(1, len(engine.clients))
+    client_kb = (
+        sum(meter.host_bytes(client_id) for client_id in engine.clients)
+        / num_clients
+        / 1024.0
+    )
+    drop_percent = (
+        engine.drop_percent if isinstance(engine, SeveEngine) else 0.0
+    )
+    samples = workload.stats.visible_samples
+    costs = workload.stats.costs
+    client_hosts = (
+        engine.client_hosts.values()
+        if isinstance(engine, SeveEngine)
+        else [client.host for client in engine.clients.values()]
+    )
+    total_cpu = engine.server_host.cpu_time_used + sum(
+        host.cpu_time_used for host in client_hosts
+    )
+    closure_cpu = 0.0
+    server = getattr(engine, "server", None)
+    if server is not None and hasattr(server, "stats") and hasattr(
+        server.stats, "closures_computed"
+    ):
+        closure_cpu = server.stats.closures_computed * server.costs.closure_ms
+    return RunResult(
+        architecture=architecture,
+        settings=settings,
+        response=engine.response_times.summary(),
+        total_traffic_kb=meter.total_kb,
+        client_traffic_kb=client_kb,
+        server_traffic_kb=meter.host_bytes(SERVER_ID) / 1024.0,
+        drop_percent=drop_percent,
+        avg_visible=(sum(samples) / len(samples)) if samples else 0.0,
+        avg_move_cost_ms=(sum(costs) / len(costs)) if costs else 0.0,
+        consistency=consistency,
+        virtual_ms=engine.sim.now,
+        wall_seconds=time.perf_counter() - started,
+        events=engine.sim.dispatched,
+        moves_submitted=workload.stats.moves_submitted,
+        responses_observed=engine.response_times.summary().count,
+        total_cpu_ms=total_cpu,
+        closure_cpu_ms=closure_cpu,
+    )
+
+
+def _stable_replica(client):
+    """The authoritative-facing replica of any architecture's client."""
+    if hasattr(client, "stable"):  # SEVE protocol client
+        return client.stable
+    return client.store  # baseline client

@@ -1,0 +1,136 @@
+"""The Manhattan People workload generator.
+
+Per Table I, every client submits ``moves_per_client`` moves at
+``move_interval_ms`` intervals.  Clients are phase-shifted by a seeded
+random offset within one interval — real players do not act in lockstep,
+and the Information Bound Model's fairness argument (Section III-E)
+explicitly relies on the random order of arrival at the server.
+
+Each move is planned against the client's *planning replica* (ζ_CO for
+SEVE, the local view for the baselines): the avatar's current position
+and heading, plus the declared read set of known avatars within the
+move effect range.  The per-move simulated cost comes from the settings'
+cost model ("fixed" or walls-visible-scaled).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.action import ActionId
+from repro.errors import MissingObjectError
+from repro.harness.config import SimulationSettings
+from repro.types import ClientId
+from repro.world.avatar import avatar_id, avatar_position
+from repro.world.manhattan import ManhattanWorld
+
+
+@dataclass
+class WorkloadStats:
+    """What the generator actually produced."""
+
+    moves_submitted: int = 0
+    #: Per-move costs (ms) — lets experiments report the realised mean.
+    costs: List[float] = field(default_factory=list)
+    #: Visible-avatar samples taken at planning time (Figure 8 x-axis).
+    visible_samples: List[int] = field(default_factory=list)
+
+
+class MoveWorkload:
+    """Drives one engine with the Table I move workload."""
+
+    def __init__(
+        self,
+        engine,
+        world: ManhattanWorld,
+        settings: SimulationSettings,
+    ) -> None:
+        self.engine = engine
+        self.world = world
+        self.settings = settings
+        self.stats = WorkloadStats()
+        self._rng = random.Random(settings.seed + 1000)
+        self._remaining: Dict[ClientId, int] = {}
+        self._next_seq: Dict[ClientId, int] = {}
+        self._stoppers: Dict[ClientId, object] = {}
+
+    def install(self) -> None:
+        """Schedule every client's periodic move generation."""
+        interval = self.settings.move_interval_ms
+        # Stop the generators once every client has had time to submit
+        # its full quota — otherwise the periodic events would keep the
+        # simulator from ever draining.
+        stop_at = self.engine.sim.now + interval * (self.settings.moves_per_client + 2)
+        for client_id in range(self.settings.num_clients):
+            self._remaining[client_id] = self.settings.moves_per_client
+            self._next_seq[client_id] = 0
+            offset = self._rng.uniform(0.0, interval)
+            self._stoppers[client_id] = self.engine.sim.call_every(
+                interval,
+                self._make_submitter(client_id),
+                start_delay=offset,
+                stop_at=stop_at,
+            )
+
+    def stop_client(self, client_id: ClientId) -> None:
+        """Stop one client's move generation (failure injection: a dead
+        player generates nothing)."""
+        stopper = self._stoppers.pop(client_id, None)
+        if stopper is not None:
+            stopper()
+        self._remaining[client_id] = 0
+
+    def _make_submitter(self, client_id: ClientId):
+        def submit() -> None:
+            if self._remaining[client_id] <= 0:
+                return
+            self._remaining[client_id] -= 1
+            self._submit_one(client_id)
+
+        return submit
+
+    def _submit_one(self, client_id: ClientId) -> None:
+        store = self.engine.planning_store(client_id)
+        try:
+            action_id = self._mint_action_id(client_id)
+            cost = self._move_cost(store, client_id)
+            action = self.world.plan_move(
+                store, client_id, action_id, cost_ms=cost
+            )
+        except MissingObjectError:
+            # The client does not (yet) know its own avatar — can only
+            # happen in pathological configurations; skip the move.
+            return
+        self.stats.moves_submitted += 1
+        self.stats.costs.append(cost)
+        self.stats.visible_samples.append(
+            self.world.visible_avatar_count(store, client_id)
+        )
+        self.engine.submit(client_id, action)
+
+    def _mint_action_id(self, client_id: ClientId) -> ActionId:
+        client = self.engine.clients[client_id]
+        if hasattr(client, "next_action_id"):  # SEVE protocol client
+            return client.next_action_id()
+        seq = self._next_seq[client_id]
+        self._next_seq[client_id] = seq + 1
+        return ActionId(client_id, seq)
+
+    def _move_cost(self, store, client_id: ClientId) -> float:
+        settings = self.settings
+        if settings.cost_model == "fixed":
+            return settings.move_cost_ms
+        me = store.get(avatar_id(client_id))
+        visible_walls = len(
+            self.world.walls.walls_near(
+                avatar_position(me), settings.wall_cost_radius
+            )
+        )
+        return settings.cost_per_kwall_ms * visible_walls / 1000.0
+
+    @property
+    def finished(self) -> bool:
+        """Whether every client has generated all of its moves."""
+        return all(count == 0 for count in self._remaining.values())

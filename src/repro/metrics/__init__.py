@@ -1,0 +1,23 @@
+"""Measurement and verification: response times, traffic, drop
+statistics, cross-replica consistency (Theorem 1), and report tables.
+"""
+
+from repro.metrics.audit import AuditLog, CheatAlert
+from repro.metrics.consistency import (
+    ConsistencyChecker,
+    ConsistencyReport,
+    check_uniform,
+    pairwise_divergence,
+)
+from repro.metrics.report import Table, format_table
+
+__all__ = [
+    "AuditLog",
+    "CheatAlert",
+    "ConsistencyChecker",
+    "ConsistencyReport",
+    "Table",
+    "check_uniform",
+    "format_table",
+    "pairwise_divergence",
+]

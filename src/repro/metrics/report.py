@@ -1,0 +1,97 @@
+"""Plain-text report tables.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module renders them as aligned ASCII tables so the
+output of ``pytest benchmarks/`` is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell) -> str:
+    if cell is None:
+        return "n/a"
+    if isinstance(cell, float):
+        if math.isnan(cell):
+            return "n/a"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """The table as aligned ASCII text."""
+        return format_table(self)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(table: Table) -> str:
+    """Render ``table`` with a title rule, aligned columns, and an
+    optional footnote."""
+    rendered_rows = [[_render(cell) for cell in row] for row in table.rows]
+    headers = [str(name) for name in table.columns]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines.append(table.title)
+    lines.append(rule)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(rule)
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    lines.append(rule)
+    if table.note:
+        lines.append(f"note: {table.note}")
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    x_name: str,
+    xs: Iterable[Cell],
+    series: dict,
+    note: str = "",
+) -> Table:
+    """Build a table from an x-axis and named y-series (figure shape).
+
+    ``series`` maps a column name to a list parallel to ``xs``.
+    """
+    columns = [x_name, *series]
+    table = Table(title, columns, note=note)
+    ys = list(series.values())
+    for index, x in enumerate(xs):
+        table.add_row(x, *(column[index] for column in ys))
+    return table

@@ -1,0 +1,24 @@
+"""Network and timing substrate.
+
+This subpackage replaces the paper's EMULab testbed with a deterministic
+discrete-event simulation: a virtual millisecond clock
+(:class:`~repro.net.simulator.Simulator`), per-host sequential CPUs
+(:class:`~repro.net.host.Host`), and latency/bandwidth-modelled links
+(:class:`~repro.net.network.Network`).
+"""
+
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.simulator import Event, Simulator
+from repro.net.stats import LatencySampler, TrafficMeter
+
+__all__ = [
+    "Event",
+    "Host",
+    "LatencySampler",
+    "Link",
+    "Network",
+    "Simulator",
+    "TrafficMeter",
+]

@@ -1,0 +1,89 @@
+"""Point-to-point link model: propagation latency plus serialization delay.
+
+A :class:`Link` is a unidirectional FIFO pipe.  A message of *b* bytes
+sent at time *t* on a link with one-way latency *L* ms and bandwidth *W*
+bits/s is delivered at::
+
+    max(t, link_free) + b*8/W*1000 + L
+
+i.e. messages queue behind earlier messages still being serialized onto
+the wire (head-of-line blocking), then propagate for *L* ms.  This is the
+standard store-and-forward model and is what turns the paper's 100 Kbps
+cap into a real constraint for the Broadcast architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.net.simulator import Simulator
+from repro.types import ClientId, TimeMs
+
+
+class Link:
+    """Unidirectional link from ``src`` to ``dst``.
+
+    ``bandwidth_bps`` of ``None`` (or 0) means infinite bandwidth — no
+    serialization delay, latency only.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: ClientId,
+        dst: ClientId,
+        *,
+        latency_ms: TimeMs,
+        bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        if latency_ms < 0:
+            raise NetworkError(f"latency must be non-negative, got {latency_ms}")
+        if bandwidth_bps is not None and bandwidth_bps < 0:
+            raise NetworkError(f"bandwidth must be non-negative, got {bandwidth_bps}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency_ms = latency_ms
+        self.bandwidth_bps = bandwidth_bps or None
+        self._wire_free_at: TimeMs = 0.0
+        #: Messages currently in flight (for diagnostics).
+        self.in_flight: int = 0
+        #: Total messages delivered over this link.
+        self.delivered: int = 0
+
+    def serialization_delay(self, size_bytes: int) -> TimeMs:
+        """Milliseconds needed to clock ``size_bytes`` onto the wire."""
+        if self.bandwidth_bps is None:
+            return 0.0
+        return size_bytes * 8.0 / self.bandwidth_bps * 1000.0
+
+    def transmit(
+        self,
+        size_bytes: int,
+        deliver: Callable[[], None],
+    ) -> TimeMs:
+        """Send a message; ``deliver`` runs at the arrival time.
+
+        Returns the (absolute) delivery time, which callers may use for
+        bookkeeping.  FIFO order is guaranteed per link.
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"message size must be non-negative, got {size_bytes}")
+        start = max(self.sim.now, self._wire_free_at)
+        self._wire_free_at = start + self.serialization_delay(size_bytes)
+        arrival = self._wire_free_at + self.latency_ms
+        self.in_flight += 1
+
+        def on_arrival() -> None:
+            self.in_flight -= 1
+            self.delivered += 1
+            deliver()
+
+        self.sim.schedule_at(arrival, on_arrival)
+        return arrival
+
+    def queue_delay(self) -> TimeMs:
+        """Current backlog: how long a new message would wait before its
+        first byte hits the wire."""
+        return max(0.0, self._wire_free_at - self.sim.now)

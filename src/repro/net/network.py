@@ -1,0 +1,175 @@
+"""Star-topology network connecting clients to the central server.
+
+Every architecture in the paper is client–server, so the network is a
+star: each client has an uplink to and a downlink from the server.  The
+:class:`Network` owns the links, meters all traffic, and dispatches
+delivered payloads to per-host handler callbacks.
+
+Payloads are ordinary Python objects (the protocol message dataclasses in
+:mod:`repro.core.messages`); their simulated wire size is supplied by the
+sender, which keeps the wire format decoupled from the Python object
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.link import Link
+from repro.net.simulator import Simulator
+from repro.net.stats import TrafficMeter
+from repro.types import SERVER_ID, ClientId, TimeMs
+
+#: Handler invoked on message arrival: ``handler(src, payload)``.
+Handler = Callable[[ClientId, object], None]
+
+
+class Network:
+    """Latency/bandwidth-modelled star network with traffic metering."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        rtt_ms: TimeMs,
+        bandwidth_bps: Optional[float] = None,
+        server_bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        """Create a network whose client<->server one-way latency is
+        ``rtt_ms / 2`` (the paper assumes symmetric halves of the RTT).
+
+        ``bandwidth_bps`` caps each client's uplink and downlink
+        individually (the paper's 100 Kbps).  ``server_bandwidth_bps``
+        optionally caps the server's aggregate uplink; by default the
+        server side is not the bottleneck (its links inherit the client
+        cap per destination, which already rate-limits each downlink).
+        """
+        if rtt_ms < 0:
+            raise NetworkError(f"RTT must be non-negative, got {rtt_ms}")
+        self.sim = sim
+        self.rtt_ms = rtt_ms
+        self.one_way_ms = rtt_ms / 2.0
+        self.bandwidth_bps = bandwidth_bps
+        self.server_bandwidth_bps = server_bandwidth_bps
+        self.meter = TrafficMeter()
+        self._handlers: Dict[ClientId, Handler] = {}
+        self._links: Dict[Tuple[ClientId, ClientId], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, host_id: ClientId, handler: Handler) -> None:
+        """Attach a host and its message handler.
+
+        Registering a client creates its uplink/downlink pair to the
+        server; registering the server just records the handler.
+        """
+        if host_id in self._handlers:
+            raise NetworkError(f"host {host_id} is already registered")
+        self._handlers[host_id] = handler
+        if host_id == SERVER_ID:
+            return
+        self._links[(host_id, SERVER_ID)] = Link(
+            self.sim,
+            host_id,
+            SERVER_ID,
+            latency_ms=self.one_way_ms,
+            bandwidth_bps=self.bandwidth_bps,
+        )
+        self._links[(SERVER_ID, host_id)] = Link(
+            self.sim,
+            SERVER_ID,
+            host_id,
+            latency_ms=self.one_way_ms,
+            bandwidth_bps=self.server_bandwidth_bps or self.bandwidth_bps,
+        )
+
+    def unregister(self, host_id: ClientId) -> None:
+        """Detach a host (simulates a client failure/disconnect).
+
+        In-flight messages to the host are dropped on arrival.
+        """
+        self._handlers.pop(host_id, None)
+
+    @property
+    def hosts(self) -> list[ClientId]:
+        """Ids of all currently registered hosts."""
+        return list(self._handlers)
+
+    def link(self, src: ClientId, dst: ClientId) -> Link:
+        """The directed link from ``src`` to ``dst``.
+
+        Star edges (client <-> server) are created at registration;
+        client <-> client *peer* links are created lazily on first use
+        (the Section VII hybrid architecture sends bulk traffic between
+        peers) with the same one-way latency and the client bandwidth
+        cap.
+        """
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            if (
+                src != SERVER_ID
+                and dst != SERVER_ID
+                and src in self._handlers
+                and dst in self._handlers
+            ):
+                link = Link(
+                    self.sim,
+                    src,
+                    dst,
+                    latency_ms=self.one_way_ms,
+                    bandwidth_bps=self.bandwidth_bps,
+                )
+                self._links[(src, dst)] = link
+                return link
+            raise NetworkError(f"no link {src} -> {dst}") from None
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        src: ClientId,
+        dst: ClientId,
+        payload: object,
+        size_bytes: int,
+    ) -> TimeMs:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns the scheduled arrival time.  The payload is handed to the
+        destination handler on arrival; if the destination unregistered
+        in the meantime the message is silently dropped (clients can
+        fail).  Traffic is metered at send time — bytes hit the wire
+        whether or not the receiver survives.
+        """
+        if src not in self._handlers:
+            raise NetworkError(f"sender {src} is not registered")
+        link = self.link(src, dst)
+        self.meter.record(src, dst, size_bytes)
+
+        def deliver() -> None:
+            handler = self._handlers.get(dst)
+            if handler is not None:
+                handler(src, payload)
+
+        return link.transmit(size_bytes, deliver)
+
+    def broadcast_from_server(
+        self,
+        payload: object,
+        size_bytes: int,
+        *,
+        exclude: Optional[ClientId] = None,
+    ) -> None:
+        """Send ``payload`` from the server to every registered client.
+
+        Each destination is metered separately — a broadcast to *n*
+        clients costs *n* messages, which is exactly the quadratic load
+        Figure 9 measures for the Broadcast architecture.
+        """
+        for host_id in list(self._handlers):
+            if host_id == SERVER_ID or host_id == exclude:
+                continue
+            self.send(SERVER_ID, host_id, payload, size_bytes)

@@ -1,0 +1,125 @@
+"""Measurement primitives: traffic metering and latency sampling.
+
+These are deliberately dumb accumulators — the experiment harness reads
+them out at the end of a run and the report layer formats them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.types import ClientId, TimeMs
+
+
+class TrafficMeter:
+    """Counts bytes and messages flowing through the network.
+
+    Traffic is attributed to both endpoints so that per-host uplink and
+    downlink totals can be reported, and to the (src, dst) pair for
+    fan-out analysis.  All counters are monotonically increasing.
+    """
+
+    def __init__(self) -> None:
+        self.total_bytes: int = 0
+        self.total_messages: int = 0
+        self.bytes_sent: Dict[ClientId, int] = defaultdict(int)
+        self.bytes_received: Dict[ClientId, int] = defaultdict(int)
+        self.messages_sent: Dict[ClientId, int] = defaultdict(int)
+        self.pair_bytes: Dict[Tuple[ClientId, ClientId], int] = defaultdict(int)
+
+    def record(self, src: ClientId, dst: ClientId, size_bytes: int) -> None:
+        """Account one message of ``size_bytes`` from ``src`` to ``dst``."""
+        self.total_bytes += size_bytes
+        self.total_messages += 1
+        self.bytes_sent[src] += size_bytes
+        self.bytes_received[dst] += size_bytes
+        self.messages_sent[src] += 1
+        self.pair_bytes[(src, dst)] += size_bytes
+
+    @property
+    def total_kb(self) -> float:
+        """Total traffic in kilobytes (paper's Figure 9 unit)."""
+        return self.total_bytes / 1024.0
+
+    def host_bytes(self, host: ClientId) -> int:
+        """Total bytes sent plus received by ``host``."""
+        return self.bytes_sent[host] + self.bytes_received[host]
+
+
+@dataclass
+class SummaryStats:
+    """Five-number-ish summary of a sample set."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+    stddev: float
+
+    @staticmethod
+    def of(samples: Iterable[float]) -> "SummaryStats":
+        """Compute summary statistics of ``samples``.
+
+        An empty sample set yields an all-NaN summary with count 0, so
+        reports can render "n/a" rather than crash.
+        """
+        data = sorted(samples)
+        if not data:
+            nan = float("nan")
+            return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan)
+        n = len(data)
+        mean = sum(data) / n
+        var = sum((x - mean) ** 2 for x in data) / n
+        return SummaryStats(
+            count=n,
+            mean=mean,
+            minimum=data[0],
+            maximum=data[-1],
+            p50=_percentile(data, 0.50),
+            p95=_percentile(data, 0.95),
+            p99=_percentile(data, 0.99),
+            stddev=math.sqrt(var),
+        )
+
+
+def _percentile(sorted_data: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_data:
+        return float("nan")
+    index = max(0, min(len(sorted_data) - 1, math.ceil(q * len(sorted_data)) - 1))
+    return sorted_data[index]
+
+
+@dataclass
+class LatencySampler:
+    """Collects latency samples (milliseconds), optionally per client."""
+
+    samples: List[float] = field(default_factory=list)
+    by_client: Dict[ClientId, List[float]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def record(self, value: TimeMs, client: Optional[ClientId] = None) -> None:
+        """Add one sample, attributed to ``client`` when given."""
+        self.samples.append(float(value))
+        if client is not None:
+            self.by_client[client].append(float(value))
+
+    def summary(self) -> SummaryStats:
+        """Summary over all recorded samples."""
+        return SummaryStats.of(self.samples)
+
+    def client_summary(self, client: ClientId) -> SummaryStats:
+        """Summary over the samples attributed to one client."""
+        return SummaryStats.of(self.by_client.get(client, []))
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (NaN when empty)."""
+        return self.summary().mean

@@ -1,0 +1,28 @@
+"""World-state database substrate.
+
+The state of a virtual world is a database of objects
+(:class:`~repro.state.objects.WorldObject`) held in an
+:class:`~repro.state.store.ObjectStore`.  Clients maintain two stores
+(optimistic and stable replicas, possibly partial); the Incomplete World
+server maintains the authoritative store.  A
+:class:`~repro.state.versioned.VersionedStore` additionally records a
+per-object version counter and a bounded multiversion history, which the
+consistency checker and the timestamp-protocol discussion in the paper
+rely on.
+"""
+
+from repro.state.checkpoint import CheckpointPolicy, dump_store, load_store
+from repro.state.locks import LockTable
+from repro.state.objects import WorldObject
+from repro.state.store import ObjectStore
+from repro.state.versioned import VersionedStore
+
+__all__ = [
+    "CheckpointPolicy",
+    "LockTable",
+    "ObjectStore",
+    "VersionedStore",
+    "WorldObject",
+    "dump_store",
+    "load_store",
+]

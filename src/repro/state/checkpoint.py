@@ -1,0 +1,149 @@
+"""Checkpointing — the paper's persistence layer.
+
+Section II: "Persistent net-VEs typically store the world state in a
+database … most net-VEs use commercial databases only to commit and
+read at periodic checkpoints."  This module provides that layer for the
+simulation: a canonical JSON serialization of an
+:class:`~repro.state.store.ObjectStore` plus a
+:class:`CheckpointPolicy` that snapshots the authoritative state every
+*N* commits (hooking the server's ``on_commit``), so a crashed server
+can be restored from checkpoint + audit-log replay
+(:meth:`repro.metrics.audit.AuditLog.replay`).
+
+The format is deliberately boring: a sorted JSON object mapping object
+ids to attribute dicts, with tuples encoded as tagged lists so the
+round trip is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.state.objects import WorldObject
+from repro.state.store import ObjectStore
+from repro.types import TimeMs
+
+#: Format marker embedded in every checkpoint.
+FORMAT = "repro-checkpoint-v1"
+
+_TUPLE_TAG = "__tuple__"
+
+
+def _encode_value(value):
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_value(v) for v in value]}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict):
+        if set(value) != {_TUPLE_TAG}:
+            raise ProtocolError(f"unexpected mapping in checkpoint: {value!r}")
+        return tuple(_decode_value(v) for v in value[_TUPLE_TAG])
+    return value
+
+
+def dump_store(store: ObjectStore, *, virtual_time: TimeMs = 0.0) -> str:
+    """Serialize ``store`` to canonical JSON text."""
+    payload = {
+        "format": FORMAT,
+        "virtual_time": virtual_time,
+        "objects": {
+            oid: {
+                name: _encode_value(value)
+                for name, value in sorted(store.get(oid).items())
+            }
+            for oid in sorted(store.ids())
+        },
+    }
+    return json.dumps(payload, sort_keys=True, indent=None, separators=(",", ":"))
+
+
+def load_store(text: str) -> ObjectStore:
+    """Rebuild an :class:`ObjectStore` from :func:`dump_store` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"corrupt checkpoint: {error}") from error
+    if payload.get("format") != FORMAT:
+        raise ProtocolError(
+            f"not a {FORMAT} checkpoint: format={payload.get('format')!r}"
+        )
+    store = ObjectStore()
+    for oid, attrs in payload["objects"].items():
+        store.put(
+            WorldObject(
+                oid, {name: _decode_value(value) for name, value in attrs.items()}
+            )
+        )
+    return store
+
+
+def checkpoint_time(text: str) -> TimeMs:
+    """The virtual time recorded in a checkpoint."""
+    payload = json.loads(text)
+    return float(payload.get("virtual_time", 0.0))
+
+
+class CheckpointPolicy:
+    """Snapshot the authoritative state every ``interval_commits``.
+
+    Attach via the server's commit hook::
+
+        policy = CheckpointPolicy(server.state, interval_commits=50,
+                                  clock=lambda: sim.now)
+        server.on_commit = policy.on_commit
+
+    Checkpoints are retained in memory (``keep`` most recent); callers
+    persist ``policy.latest`` wherever they like — it is already a
+    self-contained JSON string.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        interval_commits: int = 100,
+        keep: int = 4,
+        clock: Optional[Callable[[], TimeMs]] = None,
+    ) -> None:
+        if interval_commits <= 0:
+            raise ProtocolError("interval_commits must be positive")
+        if keep <= 0:
+            raise ProtocolError("keep must be positive")
+        self.store = store
+        self.interval_commits = interval_commits
+        self.keep = keep
+        self.clock = clock or (lambda: 0.0)
+        self.checkpoints: List[str] = []
+        self.commits_seen = 0
+        #: Commit position covered by the latest checkpoint (-1: none).
+        self.covered_upto = -1
+
+    def on_commit(self, pos: int, client_id, values) -> None:
+        """Commit hook: count commits, snapshot on the interval."""
+        self.commits_seen += 1
+        if self.commits_seen % self.interval_commits == 0:
+            self.take(pos)
+
+    def take(self, pos: int) -> str:
+        """Take a checkpoint now, covering commits up to ``pos``."""
+        text = dump_store(self.store, virtual_time=self.clock())
+        self.checkpoints.append(text)
+        if len(self.checkpoints) > self.keep:
+            self.checkpoints.pop(0)
+        self.covered_upto = pos
+        return text
+
+    @property
+    def latest(self) -> Optional[str]:
+        """The most recent checkpoint, if any."""
+        return self.checkpoints[-1] if self.checkpoints else None
+
+    def restore_latest(self) -> ObjectStore:
+        """Rebuild a store from the most recent checkpoint."""
+        if not self.checkpoints:
+            raise ProtocolError("no checkpoint taken yet")
+        return load_store(self.checkpoints[-1])

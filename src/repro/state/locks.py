@@ -1,0 +1,133 @@
+"""Read/write lock table — the substrate of the Section II-B lock-based
+protocol.
+
+A transaction (action) needs shared locks on its read set and exclusive
+locks on its write set.  Requests are granted all-or-nothing; requests
+that cannot be granted wait in arrival order.  On every release the
+table rescans the wait queue in order, granting every request that now
+fits (requests may overtake incompatible earlier ones — this trades
+FIFO fairness for deadlock freedom, which the paper's sketch glosses
+over entirely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.types import ObjectId
+
+
+@dataclass
+class LockRequest:
+    """One pending all-or-nothing lock acquisition."""
+
+    request_id: object
+    shared: frozenset[ObjectId]
+    exclusive: frozenset[ObjectId]
+    on_granted: Callable[[], None]
+    granted: bool = False
+
+
+class LockTable:
+    """Object-granularity shared/exclusive locks with FIFO-scan waiting."""
+
+    def __init__(self) -> None:
+        self._readers: Dict[ObjectId, int] = {}
+        self._writer: Dict[ObjectId, object] = {}
+        self._waiting: List[LockRequest] = []
+        self._held: Dict[object, LockRequest] = {}
+        #: Total grants and waits, for diagnostics.
+        self.grants = 0
+        self.waits = 0
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        request_id: object,
+        *,
+        shared: frozenset[ObjectId],
+        exclusive: frozenset[ObjectId],
+        on_granted: Callable[[], None],
+    ) -> bool:
+        """Request locks; ``on_granted`` fires when all are held.
+
+        Returns ``True`` if granted immediately.  Objects in both sets
+        are treated as exclusive.
+        """
+        if request_id in self._held:
+            raise ProtocolError(f"request {request_id!r} already holds locks")
+        shared = shared - exclusive
+        request = LockRequest(request_id, shared, exclusive, on_granted)
+        if self._compatible(request):
+            self._grant(request)
+            return True
+        self.waits += 1
+        self._waiting.append(request)
+        return False
+
+    def release(self, request_id: object) -> None:
+        """Release every lock held by ``request_id`` and re-scan waiters."""
+        request = self._held.pop(request_id, None)
+        if request is None:
+            raise ProtocolError(f"request {request_id!r} holds no locks")
+        for oid in request.shared:
+            count = self._readers.get(oid, 0) - 1
+            if count <= 0:
+                self._readers.pop(oid, None)
+            else:
+                self._readers[oid] = count
+        for oid in request.exclusive:
+            self._writer.pop(oid, None)
+        self._rescan()
+
+    # ------------------------------------------------------------------
+    def _compatible(self, request: LockRequest) -> bool:
+        for oid in request.exclusive:
+            if oid in self._writer or self._readers.get(oid, 0) > 0:
+                return False
+        for oid in request.shared:
+            if oid in self._writer:
+                return False
+        return True
+
+    def _grant(self, request: LockRequest) -> None:
+        for oid in request.shared:
+            self._readers[oid] = self._readers.get(oid, 0) + 1
+        for oid in request.exclusive:
+            self._writer[oid] = request.request_id
+        request.granted = True
+        self._held[request.request_id] = request
+        self.grants += 1
+        request.on_granted()
+
+    def _rescan(self) -> None:
+        index = 0
+        while index < len(self._waiting):
+            request = self._waiting[index]
+            if self._compatible(request):
+                del self._waiting[index]
+                self._grant(request)
+                # A grant can only *reduce* availability; continue from
+                # the same index so later compatible waiters still go.
+            else:
+                index += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def waiting_count(self) -> int:
+        """Requests currently blocked."""
+        return len(self._waiting)
+
+    def holds(self, request_id: object) -> bool:
+        """Whether ``request_id`` currently holds its locks."""
+        return request_id in self._held
+
+    def writer_of(self, oid: ObjectId) -> Optional[object]:
+        """Current exclusive holder of ``oid``, if any."""
+        return self._writer.get(oid)
+
+    def reader_count(self, oid: ObjectId) -> int:
+        """Current shared holders of ``oid``."""
+        return self._readers.get(oid, 0)

@@ -1,0 +1,107 @@
+"""Versioned store: an :class:`ObjectStore` with per-object version
+counters and a bounded multiversion history.
+
+Section II-B of the paper discusses timestamp-based protocols built on
+multiversion serializability; the Incomplete World server also needs to
+know *which committed prefix* a value belongs to when seeding blind
+writes.  :class:`VersionedStore` provides both: every committed write
+bumps the object's version, and a bounded number of historical versions
+are retained for inspection (tests use them to assert that replicas only
+ever observe committed prefixes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+from repro.errors import MissingObjectError
+from repro.state.objects import WorldObject
+from repro.state.store import ObjectStore, ValuesDict
+from repro.types import AttrValue, ObjectId
+
+#: One retained version: (version number, commit index, attribute dict).
+VersionEntry = Tuple[int, int, Dict[str, AttrValue]]
+
+
+class VersionedStore(ObjectStore):
+    """Object store that tracks versions and bounded history.
+
+    ``history_limit`` bounds retained versions per object (``None`` =
+    unbounded; the current version is always retrievable regardless of
+    the limit).
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[WorldObject] = (),
+        *,
+        history_limit: Optional[int] = None,
+    ) -> None:
+        self._versions: Dict[ObjectId, int] = {}
+        self._history: Dict[ObjectId, Deque[VersionEntry]] = {}
+        self.history_limit = history_limit
+        super().__init__(objects)
+
+    # -- write paths (all funnel through put/install) --------------------
+    def put(self, obj: WorldObject) -> None:
+        """Insert/replace an object, bumping its version."""
+        self._record_version(obj.oid, obj.as_dict(), commit_index=-1)
+        super().put(obj)
+
+    def install(self, values: ValuesDict, commit_index: int = -1) -> None:
+        """Blind-write ``values``; ``commit_index`` tags the history
+        entries with the commit position they correspond to (the server
+        passes the installed action's queue position)."""
+        for oid, attrs in values.items():
+            self._record_version(oid, dict(attrs), commit_index=commit_index)
+        super().install(values)
+
+    def merge(self, values: ValuesDict, commit_index: int = -1) -> None:
+        """Merge partial writes, recording the *resulting* full object
+        state as the new version (history entries are always complete
+        states, so replicas can be compared against them)."""
+        super().merge(values)
+        for oid in values:
+            self._record_version(
+                oid, self._objects[oid].as_dict(), commit_index=commit_index
+            )
+
+    def discard(self, oid: ObjectId) -> None:
+        """Remove an object and its history."""
+        super().discard(oid)
+        self._versions.pop(oid, None)
+        self._history.pop(oid, None)
+
+    def _record_version(
+        self, oid: ObjectId, attrs: Dict[str, AttrValue], commit_index: int
+    ) -> None:
+        version = self._versions.get(oid, 0) + 1
+        self._versions[oid] = version
+        history = self._history.setdefault(oid, deque(maxlen=self.history_limit))
+        history.append((version, commit_index, attrs))
+
+    # -- version queries --------------------------------------------------
+    def version(self, oid: ObjectId) -> int:
+        """Current version number of ``oid`` (1 for a fresh object)."""
+        try:
+            return self._versions[oid]
+        except KeyError:
+            raise MissingObjectError(oid) from None
+
+    def history(self, oid: ObjectId) -> Tuple[VersionEntry, ...]:
+        """Retained versions of ``oid``, oldest first."""
+        return tuple(self._history.get(oid, ()))
+
+    def value_at_version(
+        self, oid: ObjectId, version: int
+    ) -> Optional[Dict[str, AttrValue]]:
+        """Attribute dict of ``oid`` at ``version`` if still retained."""
+        for retained_version, _, attrs in self._history.get(oid, ()):
+            if retained_version == version:
+                return dict(attrs)
+        return None
+
+    def snapshot(self) -> "ObjectStore":
+        """Plain (unversioned) deep copy — replicas do not need history."""
+        return ObjectStore(obj.copy() for obj in self.objects())

@@ -1,0 +1,55 @@
+"""Shared type aliases and small value types used across the package.
+
+Centralising these keeps signatures consistent between the protocol
+layer, the world-state layer, and the network substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: Identifier of a world object (e.g. ``"avatar:3"``, ``"wall:17"``).
+ObjectId = str
+
+#: Identifier of a client.  Clients are numbered ``0 .. n-1``; the server
+#: uses :data:`SERVER_ID`.
+ClientId = int
+
+#: Reserved host id of the (single) server in every architecture.
+SERVER_ID: ClientId = -1
+
+#: Virtual time, in milliseconds since the start of the simulation.
+TimeMs = float
+
+#: Attribute values stored on world objects.  Restricted to immutable
+#: scalars and tuples so that snapshots and equality are cheap and safe.
+AttrValue = Union[int, float, str, bool, tuple, None]
+
+
+def oid(kind: str, index: int) -> ObjectId:
+    """Build the canonical object id for an object of ``kind``.
+
+    >>> oid("avatar", 3)
+    'avatar:3'
+    """
+    return f"{kind}:{index}"
+
+
+def oid_kind(object_id: ObjectId) -> str:
+    """Return the kind prefix of a canonical object id.
+
+    >>> oid_kind("wall:17")
+    'wall'
+    """
+    kind, _, __ = object_id.partition(":")
+    return kind
+
+
+def oid_index(object_id: ObjectId) -> int:
+    """Return the numeric suffix of a canonical object id.
+
+    >>> oid_index("wall:17")
+    17
+    """
+    _, __, suffix = object_id.partition(":")
+    return int(suffix)

@@ -1,0 +1,46 @@
+"""The interface a virtual world presents to the protocol engines.
+
+A world supplies the initial database of objects, the mapping from
+clients to their avatars (used by the First Bound predicate to locate
+p̄_C), and the world-wide constants Equation (1) needs: the maximum rate
+of change s and each client's maximum influence radius r_C.
+
+Concrete worlds: :class:`repro.world.manhattan.ManhattanWorld`,
+:class:`repro.world.combat.CombatWorld`,
+:class:`repro.world.philosophers.PhilosophersWorld`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional
+
+from repro.state.objects import WorldObject
+from repro.types import ClientId, ObjectId
+
+
+class World(abc.ABC):
+    """Abstract base for the engine-facing world interface."""
+
+    @abc.abstractmethod
+    def initial_objects(self) -> Iterable[WorldObject]:
+        """The objects of the initial world state (fresh copies)."""
+
+    @abc.abstractmethod
+    def avatar_of(self, client_id: ClientId) -> Optional[ObjectId]:
+        """Object id of the avatar controlled by ``client_id`` (or
+        ``None`` for clients without a spatial embodiment)."""
+
+    @property
+    @abc.abstractmethod
+    def max_speed(self) -> float:
+        """s — maximum rate of change of any object's position, in
+        world units per second (Equation (1))."""
+
+    def client_radius(self, client_id: ClientId) -> float:
+        """r_C — maximum influence radius of the client's actions.
+
+        Defaults to 0; spatial worlds override (e.g. the move effect
+        range in Manhattan People).
+        """
+        return 0.0

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately small/fast: tiny worlds, few moves.
+The full Table I scale lives in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import SimulationSettings
+from repro.net.host import Host
+from repro.net.network import Network
+from repro.net.simulator import Simulator
+from repro.types import SERVER_ID
+from repro.world.manhattan import ManhattanConfig, ManhattanWorld
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    return Network(sim, rtt_ms=100.0, bandwidth_bps=None)
+
+
+@pytest.fixture
+def server_host(sim: Simulator) -> Host:
+    return Host(sim, SERVER_ID)
+
+
+@pytest.fixture
+def small_world() -> ManhattanWorld:
+    config = ManhattanConfig(
+        width=200.0,
+        height=200.0,
+        num_walls=50,
+        spawn="cluster",
+        spawn_extent=60.0,
+        seed=7,
+    )
+    return ManhattanWorld(8, config)
+
+
+@pytest.fixture
+def small_settings() -> SimulationSettings:
+    return SimulationSettings(
+        num_clients=6,
+        num_walls=100,
+        moves_per_client=8,
+        spawn_extent=60.0,
+        world_width=200.0,
+        world_height=200.0,
+        seed=3,
+    )

@@ -1,0 +1,179 @@
+"""Tests for the checkpoint (persistence) layer: exact round-trips,
+periodic snapshots, and crash recovery via checkpoint + audit replay."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.state.checkpoint import (
+    CheckpointPolicy,
+    checkpoint_time,
+    dump_store,
+    load_store,
+)
+from repro.state.objects import WorldObject
+from repro.state.store import ObjectStore
+
+
+def sample_store():
+    return ObjectStore([
+        WorldObject("avatar:0", {"x": 1.5, "y": -2.0, "alive": True,
+                                 "name": "zoe", "pos": (1.0, 2.0)}),
+        WorldObject("fork:1", {"holder": None}),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+def test_roundtrip_exact():
+    store = sample_store()
+    restored = load_store(dump_store(store))
+    assert restored.diff(store) == {}
+    assert restored.get("avatar:0")["pos"] == (1.0, 2.0)
+    assert isinstance(restored.get("avatar:0")["pos"], tuple)
+
+
+def test_dump_is_canonical():
+    a = sample_store()
+    b = sample_store()
+    assert dump_store(a) == dump_store(b)
+
+
+def test_virtual_time_recorded():
+    text = dump_store(sample_store(), virtual_time=1234.5)
+    assert checkpoint_time(text) == 1234.5
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        load_store("not json at all {")
+    with pytest.raises(ProtocolError):
+        load_store('{"format": "something-else", "objects": {}}')
+
+
+def test_nested_tuples_roundtrip():
+    store = ObjectStore([WorldObject("o:0", {"t": ((1, 2), (3, (4,)))})])
+    restored = load_store(dump_store(store))
+    assert restored.get("o:0")["t"] == ((1, 2), (3, (4,)))
+
+
+attr_values = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+    st.tuples(st.integers(min_value=0, max_value=9),
+              st.floats(min_value=-10, max_value=10)),
+)
+
+
+@given(
+    objects=st.dictionaries(
+        st.from_regex(r"[a-z]{1,6}:[0-9]{1,3}", fullmatch=True),
+        st.dictionaries(st.text(min_size=1, max_size=8).filter(
+            lambda s: "__tuple__" not in s), attr_values, max_size=4),
+        max_size=8,
+    )
+)
+def test_roundtrip_property(objects):
+    store = ObjectStore(WorldObject(oid, attrs) for oid, attrs in objects.items())
+    restored = load_store(dump_store(store))
+    assert restored.diff(store) == {}
+
+
+# ---------------------------------------------------------------------------
+# Policy
+# ---------------------------------------------------------------------------
+def test_policy_snapshots_on_interval():
+    store = sample_store()
+    policy = CheckpointPolicy(store, interval_commits=3, clock=lambda: 42.0)
+    for pos in range(7):
+        store.merge({"avatar:0": {"x": float(pos)}})
+        policy.on_commit(pos, 0, {})
+    assert len(policy.checkpoints) == 2  # after commits 3 and 6
+    assert policy.covered_upto == 5
+    restored = policy.restore_latest()
+    assert restored.get("avatar:0")["x"] == 5.0
+    assert checkpoint_time(policy.latest) == 42.0
+
+
+def test_policy_retention_bound():
+    store = sample_store()
+    policy = CheckpointPolicy(store, interval_commits=1, keep=2)
+    for pos in range(5):
+        policy.on_commit(pos, 0, {})
+    assert len(policy.checkpoints) == 2
+
+
+def test_policy_requires_checkpoint_before_restore():
+    policy = CheckpointPolicy(sample_store(), interval_commits=10)
+    assert policy.latest is None
+    with pytest.raises(ProtocolError):
+        policy.restore_latest()
+
+
+def test_policy_validates_parameters():
+    with pytest.raises(ProtocolError):
+        CheckpointPolicy(sample_store(), interval_commits=0)
+    with pytest.raises(ProtocolError):
+        CheckpointPolicy(sample_store(), keep=0)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery: checkpoint + audit-log replay == live state
+# ---------------------------------------------------------------------------
+def test_recovery_from_checkpoint_plus_replay():
+    from repro.core.engine import SeveConfig, SeveEngine
+    from repro.metrics.audit import AuditLog
+    from repro.world.manhattan import ManhattanConfig, ManhattanWorld
+
+    world = ManhattanWorld(
+        4,
+        ManhattanConfig(width=150.0, height=150.0, num_walls=20,
+                        spawn="cluster", spawn_extent=40.0, seed=6),
+    )
+    engine = SeveEngine(world, 4, SeveConfig(mode="seve", rtt_ms=100.0,
+                                             tick_ms=20.0))
+    engine.start(stop_at=60_000)
+
+    policy = CheckpointPolicy(engine.state, interval_commits=5,
+                              clock=lambda: engine.sim.now)
+    # A "WAL": audit records everything since the last checkpoint.
+    wal = AuditLog()
+    last_covered = {"pos": -1}
+
+    def on_commit(pos, client_id, values):
+        wal.record(pos, client_id, engine.sim.now, values)
+        policy.on_commit(pos, client_id, values)
+
+    engine.server.on_commit = on_commit
+
+    for cid in range(4):
+        client = engine.client(cid)
+
+        def submit(cid=cid, client=client, n={"left": 8}):
+            if n["left"] <= 0:
+                return
+            n["left"] -= 1
+            client.submit(world.plan_move(
+                client.optimistic, cid, client.next_action_id(), cost_ms=1.0
+            ))
+
+        engine.sim.call_every(150.0, submit, start_delay=4.0 + cid,
+                              stop_at=1500.0)
+    engine.run(until=3000.0)
+    engine.run_to_quiescence()
+
+    assert policy.latest is not None
+    # Recovery: load the checkpoint, replay WAL records after it.
+    recovered = policy.restore_latest()
+    for record in wal.records:
+        if record.pos > policy.covered_upto:
+            recovered.merge(record.values())
+    for obj in engine.state.objects():
+        assert recovered.get(obj.oid) == obj, obj.oid

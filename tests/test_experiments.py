@@ -1,0 +1,117 @@
+"""Smoke tests for the per-figure experiment drivers (tiny scale).
+
+These assert the *shape invariants* each figure must show, at a scale
+small enough for CI; the benchmarks run the calibrated scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.config import SimulationSettings
+
+
+TINY = SimulationSettings(
+    num_walls=200,
+    moves_per_client=6,
+    spawn_extent=80.0,
+)
+
+
+def test_table1_renders():
+    result = experiments.run_table1()
+    text = result.render()
+    assert "1000 x 1000" in text
+    assert "238 ms" in text
+    assert "100 Kbps" in text
+    assert "45 units" in text
+
+
+def test_figure6_shape():
+    result = experiments.run_figure6(TINY, client_counts=(2, 8))
+    text = result.render()
+    assert "Figure 6" in text
+    assert len(result.table.rows) == 2
+    # At tiny scale nobody saturates; all responses are finite/positive.
+    for row in result.table.rows:
+        assert all(value > 0 for value in row[1:])
+
+
+def test_figure7_seve_flat_central_grows():
+    result = experiments.run_figure7(
+        TINY, costs_ms=(1.0, 16.0), num_clients=12,
+        architectures=("central", "seve"),
+    )
+    (cheap_central, cheap_seve) = result.table.rows[0][1:]
+    (costly_central, costly_seve) = result.table.rows[1][1:]
+    # 12 clients x (16 + 1.9) ms < 300ms round: still fine centrally,
+    # but the growth direction must already be visible.
+    assert costly_central > cheap_central
+    # SEVE moves far less in relative terms.
+    central_growth = costly_central / cheap_central
+    seve_growth = costly_seve / cheap_seve
+    assert seve_growth < central_growth
+
+
+def test_figure8_runs_and_reports_drops():
+    result = experiments.run_figure8(
+        TINY, visibilities=(10.0, 40.0), num_clients=12
+    )
+    assert len(result.table.rows) == 2
+    for row in result.table.rows:
+        visibility, avg_visible, naive_ms, seve_ms, dropped = row
+        assert naive_ms > 0 and seve_ms > 0
+        assert dropped >= 0
+
+
+def test_table2_monotone_scaffold():
+    result = experiments.run_table2(
+        TINY, effect_ranges=(1.0, 9.0), num_clients=12
+    )
+    small_range_drop = result.table.rows[0][1]
+    big_range_drop = result.table.rows[1][1]
+    assert small_range_drop <= big_range_drop + 1e-9
+
+
+def test_figure9_broadcast_dominates_traffic():
+    result = experiments.run_figure9(TINY, client_counts=(6,))
+    row = result.table.rows[0]
+    clients, central_kb, seve_kb, broadcast_kb = row
+    assert broadcast_kb > central_kb
+    assert broadcast_kb > seve_kb
+
+
+def test_figure10_reports_overhead_and_violations():
+    result = experiments.run_figure10(TINY, client_counts=(6,))
+    row = result.table.rows[0]
+    clients, seve_ms, ring_ms, overhead, closure_pct, violations = row
+    assert seve_ms > 0 and ring_ms > 0
+    assert not math.isnan(overhead)
+    assert closure_pct >= 0
+    assert violations is not None
+
+
+def test_ablation_culling_runs():
+    result = experiments.run_ablation_culling(TINY, client_counts=(4,))
+    assert len(result.table.rows) == 1
+    assert all(v > 0 for v in result.table.rows[0][1:])
+
+
+def test_ablation_omega_bound_tracks():
+    result = experiments.run_ablation_omega(
+        TINY, omegas=(0.25, 0.75), num_clients=4
+    )
+    low, high = result.table.rows
+    assert low[1] < high[1]  # theoretical bound grows with omega
+    assert low[2] < high[2]  # measured mean follows
+
+
+def test_ablation_threshold_drop_tradeoff():
+    result = experiments.run_ablation_threshold(
+        TINY, thresholds=(2.0, 1000.0), num_clients=12
+    )
+    tight, loose = result.table.rows
+    assert tight[1] >= loose[1]  # tighter threshold drops at least as much

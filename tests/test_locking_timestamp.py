@@ -1,0 +1,241 @@
+"""Tests for the Section II-B protocol baselines: the lock table, the
+distributed-locking engine, and the timestamp-certification engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common import BaselineConfig
+from repro.baselines.locking import LockingEngine
+from repro.baselines.timestamp import TimestampEngine
+from repro.core.action import ActionId
+from repro.errors import ProtocolError
+from repro.state.locks import LockTable
+from repro.world.manhattan import ManhattanConfig, ManhattanWorld
+
+
+# ---------------------------------------------------------------------------
+# LockTable
+# ---------------------------------------------------------------------------
+def test_exclusive_blocks_exclusive():
+    table = LockTable()
+    order = []
+    assert table.acquire("a", shared=frozenset(), exclusive=frozenset({"x"}),
+                         on_granted=lambda: order.append("a"))
+    assert not table.acquire("b", shared=frozenset(), exclusive=frozenset({"x"}),
+                             on_granted=lambda: order.append("b"))
+    assert order == ["a"]
+    table.release("a")
+    assert order == ["a", "b"]
+    assert table.holds("b")
+
+
+def test_shared_locks_coexist():
+    table = LockTable()
+    grants = []
+    for name in ("a", "b", "c"):
+        assert table.acquire(name, shared=frozenset({"x"}), exclusive=frozenset(),
+                             on_granted=lambda name=name: grants.append(name))
+    assert grants == ["a", "b", "c"]
+    assert table.reader_count("x") == 3
+
+
+def test_shared_blocks_exclusive_and_vice_versa():
+    table = LockTable()
+    table.acquire("r", shared=frozenset({"x"}), exclusive=frozenset(),
+                  on_granted=lambda: None)
+    assert not table.acquire("w", shared=frozenset(), exclusive=frozenset({"x"}),
+                             on_granted=lambda: None)
+    table.release("r")
+    assert table.holds("w")
+    assert not table.acquire("r2", shared=frozenset({"x"}), exclusive=frozenset(),
+                             on_granted=lambda: None)
+
+
+def test_all_or_nothing_granting():
+    table = LockTable()
+    table.acquire("a", shared=frozenset(), exclusive=frozenset({"x"}),
+                  on_granted=lambda: None)
+    granted = []
+    # Needs x and y; x is taken -> must wait even though y is free.
+    table.acquire("b", shared=frozenset(), exclusive=frozenset({"x", "y"}),
+                  on_granted=lambda: granted.append("b"))
+    assert granted == []
+    assert table.writer_of("y") is None  # y not partially held
+    table.release("a")
+    assert granted == ["b"]
+    assert table.writer_of("y") == "b"
+
+
+def test_waiters_may_overtake_incompatible_ones():
+    table = LockTable()
+    table.acquire("a", shared=frozenset(), exclusive=frozenset({"x"}),
+                  on_granted=lambda: None)
+    granted = []
+    table.acquire("b", shared=frozenset(), exclusive=frozenset({"x"}),
+                  on_granted=lambda: granted.append("b"))
+    # c wants an unrelated object: grants immediately despite b waiting.
+    assert table.acquire("c", shared=frozenset(), exclusive=frozenset({"y"}),
+                         on_granted=lambda: granted.append("c"))
+    assert granted == ["c"]
+
+
+def test_object_in_both_sets_is_exclusive():
+    table = LockTable()
+    table.acquire("rmw", shared=frozenset({"x"}), exclusive=frozenset({"x"}),
+                  on_granted=lambda: None)
+    assert table.writer_of("x") == "rmw"
+    assert table.reader_count("x") == 0
+
+
+def test_double_acquire_and_bad_release_raise():
+    table = LockTable()
+    table.acquire("a", shared=frozenset(), exclusive=frozenset({"x"}),
+                  on_granted=lambda: None)
+    with pytest.raises(ProtocolError):
+        table.acquire("a", shared=frozenset(), exclusive=frozenset({"y"}),
+                      on_granted=lambda: None)
+    with pytest.raises(ProtocolError):
+        table.release("ghost")
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+def make_world(num=4, **kwargs):
+    defaults = dict(width=200.0, height=200.0, num_walls=10,
+                    spawn="cluster", spawn_extent=30.0, seed=13)
+    defaults.update(kwargs)
+    return ManhattanWorld(num, ManhattanConfig(**defaults))
+
+
+def drive(engine, world, moves=4, interval=400.0, cost=1.0):
+    seqs = {cid: 0 for cid in engine.clients}
+    for cid in engine.clients:
+        def submit(cid=cid, n={"left": moves}):
+            if n["left"] <= 0:
+                return
+            n["left"] -= 1
+            action = world.plan_move(
+                engine.planning_store(cid), cid, ActionId(cid, seqs[cid]),
+                cost_ms=cost,
+            )
+            seqs[cid] += 1
+            engine.submit(cid, action)
+
+        engine.sim.call_every(interval, submit, start_delay=3.0 + 7 * cid,
+                              stop_at=interval * (moves + 2))
+    engine.run(until=interval * (moves + 2))
+    engine.run_to_quiescence()
+
+
+def test_locking_confirms_all_moves():
+    world = make_world()
+    engine = LockingEngine(world, 4, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world)
+    assert engine.response_times.summary().count == 16
+    assert engine.stats.effects_broadcast == 16
+    assert engine.locks.waiting_count == 0
+
+
+def test_locking_takes_two_round_trips():
+    world = make_world(num=1)
+    engine = LockingEngine(world, 1, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world, moves=3)
+    summary = engine.response_times.summary()
+    # 2 x RTT + execution + server costs: strictly above 200ms.
+    assert summary.minimum > 200.0
+    assert summary.mean < 230.0
+
+
+def test_locking_contention_serializes():
+    # Dense world: everyone's moves conflict (read each other's avatars).
+    world = make_world(num=6, spawn_extent=8.0)
+    engine = LockingEngine(world, 6, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world, moves=3, interval=300.0)
+    assert engine.stats.queued_grants > 0  # locks actually conflicted
+    assert engine.response_times.summary().count == 18
+
+
+def test_locking_replicas_stay_consistent():
+    world = make_world(num=5, spawn_extent=8.0)
+    engine = LockingEngine(world, 5, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world, moves=4, interval=350.0)
+    from repro.metrics.consistency import ConsistencyChecker
+
+    report = ConsistencyChecker(engine.state).check_all(
+        {cid: c.store for cid, c in engine.clients.items()}
+    )
+    assert report.consistent, report.violations[:3]
+
+
+def test_timestamp_commits_without_contention():
+    # Far-apart avatars: reads never conflict, everything commits first try.
+    world = make_world(num=3, spawn_extent=180.0, seed=3)
+    engine = TimestampEngine(world, 3, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world, moves=4)
+    assert engine.stats.aborted == 0
+    assert engine.response_times.summary().count == 12
+    # One round trip + evaluation.
+    assert engine.response_times.summary().mean < 150.0
+
+
+def test_timestamp_aborts_under_contention():
+    # Tight cluster: everyone reads everyone -> version checks fail often.
+    world = make_world(num=8, spawn_extent=6.0)
+    engine = TimestampEngine(world, 8, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world, moves=5, interval=250.0, cost=2.0)
+    assert engine.stats.aborted > 0
+    assert engine.abort_rate > 0.05
+    # Some transactions make it through the abort storm, but contention
+    # devastates throughput — the paper's criticism of syntactic
+    # validation ("any change in the read set ... would potentially
+    # cause the transaction to abort") in its extreme form.
+    assert engine.stats.committed >= 5
+    assert engine.abort_rate > 0.3
+
+
+def test_timestamp_tentative_execution_does_not_dirty_replica():
+    world = make_world(num=2, spawn_extent=180.0, seed=3)
+    engine = TimestampEngine(world, 2, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    client = engine.clients[0]
+    before = client.store.snapshot()
+    action = world.plan_move(client.store, 0, ActionId(0, 0), cost_ms=1.0)
+    engine.submit(0, action)
+    # Run only until the certify message would be on the wire: the local
+    # replica must still be unchanged (writes wait for the verdict).
+    engine.sim.run(until=50.0)
+    assert client.store.diff(before) == {}
+    engine.run_to_quiescence()
+    assert client.store.diff(before) != {}  # committed now
+
+
+def test_timestamp_committed_replicas_consistent():
+    world = make_world(num=6, spawn_extent=10.0)
+    engine = TimestampEngine(world, 6, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None))
+    drive(engine, world, moves=4, interval=350.0)
+    from repro.metrics.consistency import ConsistencyChecker
+
+    report = ConsistencyChecker(engine.state).check_all(
+        {cid: c.store for cid, c in engine.clients.items()}
+    )
+    assert report.consistent, report.violations[:3]
+
+
+def test_factory_builds_new_architectures(small_settings):
+    from repro.harness.architectures import build_engine, build_world
+
+    world = build_world(small_settings)
+    locking = build_engine("locking", small_settings, world)
+    timestamp = build_engine("timestamp", small_settings, world)
+    assert isinstance(locking, LockingEngine)
+    assert isinstance(timestamp, TimestampEngine)
+
+
+def test_runner_supports_new_architectures(small_settings):
+    from repro.harness.runner import run_simulation
+
+    for architecture in ("locking", "timestamp"):
+        result = run_simulation(architecture, small_settings)
+        assert result.responses_observed > 0
+        assert result.consistency is not None and result.consistency.consistent

@@ -1,0 +1,213 @@
+"""Tests for the First Bound push mode internals: dedup via sent-sets,
+interest filtering vs closure delivery, and push batching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.action import Action, ActionId
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.core.interest import profile
+from repro.state.objects import WorldObject
+from repro.types import ClientId, ObjectId
+from repro.world.avatar import avatar_id, avatar_object
+from repro.world.base import World
+from repro.world.geometry import Vec2
+
+
+class PairWorld(World):
+    """Two avatars standing close together, plus a shared token object."""
+
+    def initial_objects(self):
+        yield avatar_object(0, Vec2(10, 10), speed=0.0)
+        yield avatar_object(1, Vec2(14, 10), speed=0.0)
+        yield WorldObject("token:0", {"value": 0})
+
+    def avatar_of(self, client_id: ClientId):
+        return avatar_id(client_id) if client_id in (0, 1) else None
+
+    @property
+    def max_speed(self) -> float:
+        return 0.0
+
+    def client_radius(self, client_id: ClientId) -> float:
+        return 20.0
+
+
+class TokenAction(Action):
+    """Increment the shared token (optionally tagged with a class)."""
+
+    def __init__(self, action_id, *, position, interest_class="default",
+                 extra_reads=frozenset()):
+        super().__init__(
+            action_id,
+            reads=frozenset({"token:0"}) | extra_reads,
+            writes=frozenset({"token:0"}),
+            position=position,
+            radius=1.0,
+            cost_ms=0.5,
+        )
+        self.interest_class = interest_class
+
+    def compute(self, store):
+        return {"token:0": {"value": int(store.get("token:0")["value"]) + 1}}
+
+
+class ReadTokenAction(Action):
+    """Write own avatar based on the token (creates the dependency)."""
+
+    def __init__(self, action_id, avatar_oid, *, position):
+        super().__init__(
+            action_id,
+            reads=frozenset({avatar_oid, "token:0"}),
+            writes=frozenset({avatar_oid}),
+            position=position,
+            radius=1.0,
+            cost_ms=0.5,
+        )
+        self.avatar_oid = avatar_oid
+
+    def compute(self, store):
+        token = int(store.get("token:0")["value"])
+        return {self.avatar_oid: {"bumps": token}}
+
+
+def make_engine(interests=None):
+    world = PairWorld()
+    engine = SeveEngine(
+        world, 2,
+        SeveConfig(mode="first-bound", rtt_ms=100.0, tick_ms=20.0),
+        interests=interests,
+    )
+    engine.start(stop_at=30_000)
+    return world, engine
+
+
+def test_pushes_never_duplicate_entries():
+    world, engine = make_engine()
+    client0 = engine.client(0)
+    client1 = engine.client(1)
+    for i in range(5):
+        engine.sim.schedule(
+            10.0 + i * 40.0,
+            lambda i=i: client0.submit(
+                TokenAction(client0.next_action_id(), position=Vec2(10, 10))
+            ),
+        )
+        engine.sim.schedule(
+            25.0 + i * 40.0,
+            lambda i=i: client1.submit(
+                TokenAction(client1.next_action_id(), position=Vec2(14, 10))
+            ),
+        )
+    engine.run(until=2_000)
+    engine.run_to_quiescence()
+    # The clients are within each other's radius: both saw all 10
+    # actions exactly once (duplicate delivery raises in the client).
+    assert client0.stats.stable_evaluations == 10
+    assert client1.stats.stable_evaluations == 10
+    assert engine.state.get("token:0")["value"] == 10
+
+
+def test_interest_filter_skips_uninteresting_pushes():
+    # Client 1 subscribes only to "human"; client 0 emits "insect".
+    world, engine = make_engine(
+        interests={1: profile("human")}
+    )
+    client0 = engine.client(0)
+    client1 = engine.client(1)
+    client0.submit(
+        TokenAction(client0.next_action_id(), position=Vec2(10, 10),
+                    interest_class="insect")
+    )
+    engine.run(until=1_000)
+    engine.run_to_quiescence()
+    # Client 1 never evaluated the insect action.
+    assert client1.stats.stable_evaluations == 0
+
+
+def test_closure_overrides_interest_filter():
+    """An uninteresting action that transitively affects an interesting
+    one MUST still be delivered — interest filtering prunes candidates,
+    never closures, or Theorem 1 would fail like RING does."""
+    world, engine = make_engine(interests={1: profile("human")})
+    client0 = engine.client(0)
+    client1 = engine.client(1)
+    # Step 1: an insect-class write to the token (filtered for client 1).
+    client0.submit(
+        TokenAction(client0.next_action_id(), position=Vec2(10, 10),
+                    interest_class="insect")
+    )
+    # Step 2, while the insect write is still uncommitted: client 1's
+    # own action reads the token — its closure must drag the insect
+    # write along.  (Submitted later, after the commit, the same value
+    # would arrive via the blind write instead; both are consistent.)
+    engine.sim.schedule(
+        60.0,
+        lambda: client1.submit(
+            ReadTokenAction(client1.next_action_id(), avatar_id(1),
+                            position=Vec2(14, 10))
+        ),
+    )
+    engine.run(until=2_000)
+    engine.run_to_quiescence()
+    # Client 1 evaluated its own action AND the insect dependency.
+    assert client1.stats.stable_evaluations == 2
+    # And computed the correct, consistent value.
+    assert client1.stable.get(avatar_id(1))["bumps"] == 1
+    assert engine.state.get(avatar_id(1))["bumps"] == 1
+
+
+def test_own_actions_bypass_interest_filter():
+    world, engine = make_engine(interests={0: profile("human")})
+    client0 = engine.client(0)
+    client0.submit(
+        TokenAction(client0.next_action_id(), position=Vec2(10, 10),
+                    interest_class="insect")  # own action, own filter
+    )
+    engine.run(until=1_000)
+    engine.run_to_quiescence()
+    assert client0.stats.confirmed == 1  # got its own echo regardless
+
+
+def test_push_batches_group_entries():
+    world, engine = make_engine()
+    client0 = engine.client(0)
+    # Three quick actions inside one push window (omega*RTT = 50ms).
+    for i in range(3):
+        engine.sim.schedule(
+            10.0 + i * 5.0,
+            lambda: client0.submit(
+                TokenAction(client0.next_action_id(), position=Vec2(10, 10))
+            ),
+        )
+    engine.run(until=1_000)
+    engine.run_to_quiescence()
+    # All three went out in few batches (batching, not per-action sends).
+    server = engine.server
+    assert server.stats.entries_distributed >= 6  # 3 actions x 2 clients
+    assert server.stats.batches_sent <= 6
+
+
+def test_far_away_client_not_pushed_spatially():
+    class FarWorld(PairWorld):
+        def initial_objects(self):
+            yield avatar_object(0, Vec2(10, 10), speed=0.0)
+            yield avatar_object(1, Vec2(500, 500), speed=0.0)
+            yield WorldObject("token:0", {"value": 0})
+
+        def client_radius(self, client_id):
+            return 5.0
+
+    world = FarWorld()
+    engine = SeveEngine(
+        world, 2, SeveConfig(mode="first-bound", rtt_ms=100.0, tick_ms=20.0)
+    )
+    engine.start(stop_at=10_000)
+    client0 = engine.client(0)
+    client0.submit(TokenAction(client0.next_action_id(), position=Vec2(10, 10)))
+    engine.run(until=1_000)
+    engine.run_to_quiescence()
+    # Equation (1) excludes the far client entirely.
+    assert engine.client(1).stats.stable_evaluations == 0
+    assert engine.client(0).stats.confirmed == 1

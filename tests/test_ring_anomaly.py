@@ -1,0 +1,147 @@
+"""The Figure 2/3 arrow anomaly.
+
+Three archers stand in a line: A — B — C, with visibility such that B
+sees both A and C, but A cannot see C.  At (virtual) time 0, C shoots B
+dead; moments later — before C's arrow is known to anyone else — B
+shoots A.
+
+* Under the RING-like architecture, the client hosting A never receives
+  C's shot (C is invisible to A), so it evaluates B's shot against a
+  world where B is still alive: A dies on A's screen, while the server
+  and B's replica know the arrow fizzled.  Permanent divergence.
+* Under SEVE, the server serializes both shots and the transitive
+  closure ships C's shot to everyone who must evaluate B's shot, so
+  every replica agrees: B died first, the arrow fizzled, A lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import pytest
+
+from repro.baselines.common import BaselineConfig
+from repro.baselines.ring import RingEngine
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.state.objects import WorldObject
+from repro.types import ClientId, ObjectId
+from repro.world.avatar import avatar_id, avatar_object
+from repro.world.base import World
+from repro.world.combat import ShootArrowAction
+from repro.world.geometry import Vec2
+
+VISIBILITY = 40.0
+POSITIONS = {0: Vec2(0.0, 0.0), 1: Vec2(35.0, 0.0), 2: Vec2(70.0, 0.0)}
+A, B, C = 0, 1, 2
+
+
+class ArrowWorld(World):
+    """Three stationary archers on a line."""
+
+    def initial_objects(self) -> Iterable[WorldObject]:
+        for index, position in POSITIONS.items():
+            yield avatar_object(index, position, speed=0.0)
+
+    def avatar_of(self, client_id: ClientId) -> Optional[ObjectId]:
+        return avatar_id(client_id) if client_id in POSITIONS else None
+
+    @property
+    def max_speed(self) -> float:
+        return 0.0
+
+    def client_radius(self, client_id: ClientId) -> float:
+        return VISIBILITY
+
+
+def shot(shooter: int, target: int, seq: int = 0) -> ShootArrowAction:
+    return ShootArrowAction(
+        ActionIdOf(shooter, seq),
+        avatar_id(shooter),
+        avatar_id(target),
+        damage=100,
+        position=POSITIONS[shooter],
+        shot_range=VISIBILITY,
+        cost_ms=1.0,
+    )
+
+
+def ActionIdOf(client, seq):
+    from repro.core.action import ActionId
+
+    return ActionId(client, seq)
+
+
+def play_ring():
+    engine = RingEngine(
+        ArrowWorld(), 3, BaselineConfig(rtt_ms=100.0, bandwidth_bps=None),
+        visibility=VISIBILITY,
+    )
+    engine.sim.schedule(0.0, lambda: engine.submit(C, shot(C, B)))
+    engine.sim.schedule(40.0, lambda: engine.submit(B, shot(B, A)))
+    engine.run()
+    return engine
+
+
+def play_seve():
+    world = ArrowWorld()
+    engine = SeveEngine(
+        world,
+        3,
+        SeveConfig(
+            mode="seve", rtt_ms=100.0, tick_ms=20.0, seed_full_state=True
+        ),
+    )
+    engine.start(stop_at=5_000)
+    engine.sim.schedule(
+        0.0, lambda: engine.client(C).submit(shot(C, B))
+    )
+    engine.sim.schedule(
+        40.0, lambda: engine.client(B).submit(shot(B, A))
+    )
+    engine.run(until=2_000)
+    engine.run_to_quiescence()
+    return engine
+
+
+def test_ring_shows_the_causal_anomaly():
+    engine = play_ring()
+    # B died everywhere the shot was seen.
+    assert engine.state.get(avatar_id(B))["alive"] is False
+    # A's replica believes A is dead (it never saw C's shot) ...
+    assert engine.clients[A].store.get(avatar_id(A))["alive"] is False
+    # ... but the authoritative server knows the arrow fizzled.
+    assert engine.state.get(avatar_id(A))["alive"] is True
+    # And B's own replica agrees A survived: permanent divergence.
+    assert engine.clients[B].store.get(avatar_id(A))["alive"] is True
+
+
+def test_seve_keeps_every_replica_consistent():
+    engine = play_seve()
+    # Authoritative outcome: B died first, so B's arrow fizzled.
+    assert engine.state.get(avatar_id(B))["alive"] is False
+    assert engine.state.get(avatar_id(A))["alive"] is True
+    # Every replica that knows about A agrees A is alive.
+    for cid, client in engine.clients.items():
+        if avatar_id(A) in client.stable:
+            assert client.stable.get(avatar_id(A))["alive"] is True, cid
+    # And B's death is equally agreed upon.
+    for cid, client in engine.clients.items():
+        if avatar_id(B) in client.stable:
+            assert client.stable.get(avatar_id(B))["alive"] is False, cid
+
+
+def test_seve_shooters_observe_the_fizzle():
+    engine = play_seve()
+    # B's optimistic evaluation thought the shot worked; the stable
+    # outcome aborted it, so B must have reconciled.
+    assert engine.clients[B].stats.mismatches >= 1
+
+
+def test_ring_anomaly_quantified_by_divergence():
+    from repro.metrics.consistency import pairwise_divergence
+
+    engine = play_ring()
+    divergent = pairwise_divergence(
+        {cid: c.store for cid, c in engine.clients.items()}
+    )
+    assert any(oid == avatar_id(A) for _, _, oid in divergent)

@@ -1,0 +1,148 @@
+"""Unit + property tests for the uniform grid spatial index."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.world.geometry import Vec2
+from repro.world.spatial import UniformGridIndex
+
+
+@pytest.fixture
+def index() -> UniformGridIndex:
+    return UniformGridIndex(cell_size=10.0)
+
+
+def test_cell_size_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        UniformGridIndex(0.0)
+
+
+def test_insert_and_query_point(index):
+    index.insert_point("a", Vec2(5, 5))
+    assert index.query_radius(Vec2(6, 6), 5.0) == {"a"}
+    assert index.query_radius(Vec2(50, 50), 5.0) == set()
+
+
+def test_point_query_is_exact_filtered(index):
+    index.insert_point("a", Vec2(0, 0))
+    index.insert_point("b", Vec2(9, 9))  # same cell, farther than radius
+    assert index.query_radius(Vec2(0, 0), 3.0) == {"a"}
+
+
+def test_move_updates_position(index):
+    index.insert_point("a", Vec2(5, 5))
+    index.move("a", Vec2(95, 95))
+    assert index.query_radius(Vec2(5, 5), 8.0) == set()
+    assert index.query_radius(Vec2(95, 95), 8.0) == {"a"}
+    assert index.position_of("a") == Vec2(95, 95)
+
+
+def test_move_within_cell_is_tracked(index):
+    index.insert_point("a", Vec2(5, 5))
+    index.move("a", Vec2(6, 6))
+    assert index.position_of("a") == Vec2(6, 6)
+    assert index.query_radius(Vec2(6, 6), 1.0) == {"a"}
+
+
+def test_remove(index):
+    index.insert_point("a", Vec2(5, 5))
+    index.remove("a")
+    assert "a" not in index
+    assert index.query_radius(Vec2(5, 5), 10.0) == set()
+    index.remove("a")  # idempotent
+
+
+def test_reinsert_replaces(index):
+    index.insert_point("a", Vec2(5, 5))
+    index.insert_point("a", Vec2(95, 95))
+    assert index.query_radius(Vec2(5, 5), 8.0) == set()
+    assert len(index) == 1
+
+
+def test_box_items_span_cells(index):
+    index.insert_box("wall", 0.0, 0.0, 35.0, 5.0)
+    assert "wall" in index.query_box(30.0, 0.0, 40.0, 10.0)
+    assert "wall" in index.query_radius(Vec2(20, 2), 1.0)
+    assert "wall" not in index.query_box(60.0, 60.0, 70.0, 70.0)
+
+
+def test_box_item_removal_clears_all_cells(index):
+    index.insert_box("wall", 0.0, 0.0, 35.0, 5.0)
+    index.remove("wall")
+    assert index.query_box(0.0, 0.0, 40.0, 10.0) == set()
+
+
+def test_negative_coordinates_work(index):
+    index.insert_point("a", Vec2(-15, -25))
+    assert index.query_radius(Vec2(-15, -25), 2.0) == {"a"}
+
+
+def test_nearest_orders_by_distance(index):
+    index.insert_point("far", Vec2(50, 0))
+    index.insert_point("near", Vec2(5, 0))
+    index.insert_point("mid", Vec2(20, 0))
+    assert index.nearest(Vec2(0, 0), 2) == ["near", "mid"]
+    assert index.nearest(Vec2(0, 0), 10) == ["near", "mid", "far"]
+
+
+def test_nearest_empty_and_zero_limit(index):
+    assert index.nearest(Vec2(0, 0), 3) == []
+    index.insert_point("a", Vec2(1, 1))
+    assert index.nearest(Vec2(0, 0), 0) == []
+
+
+def test_len_and_items(index):
+    index.insert_point("a", Vec2(0, 0))
+    index.insert_box("w", 0, 0, 5, 5)
+    assert len(index) == 2
+    assert set(index.items()) == {"a", "w"}
+
+
+points = st.tuples(
+    st.floats(min_value=0, max_value=500, allow_nan=False),
+    st.floats(min_value=0, max_value=500, allow_nan=False),
+)
+
+
+@given(
+    positions=st.dictionaries(
+        st.integers(min_value=0, max_value=50), points, min_size=1, max_size=40
+    ),
+    center=points,
+    radius=st.floats(min_value=0, max_value=300),
+)
+def test_query_radius_matches_brute_force(positions, center, radius):
+    """The index must return a superset-free, exact set for point items."""
+    index = UniformGridIndex(cell_size=25.0)
+    for item, (x, y) in positions.items():
+        index.insert_point(item, Vec2(x, y))
+    center_v = Vec2(*center)
+    expected = {
+        item
+        for item, (x, y) in positions.items()
+        if Vec2(x, y).distance_to(center_v) <= radius
+    }
+    assert index.query_radius(center_v, radius) == expected
+
+
+@given(
+    positions=st.dictionaries(
+        st.integers(min_value=0, max_value=30), points, min_size=1, max_size=20
+    ),
+    center=points,
+    limit=st.integers(min_value=1, max_value=10),
+)
+def test_nearest_matches_brute_force(positions, center, limit):
+    index = UniformGridIndex(cell_size=25.0)
+    for item, (x, y) in positions.items():
+        index.insert_point(item, Vec2(x, y))
+    center_v = Vec2(*center)
+    expected = sorted(
+        positions,
+        key=lambda item: (Vec2(*positions[item]).distance_to(center_v), item),
+    )[:limit]
+    assert index.nearest(center_v, limit) == expected

@@ -1,0 +1,97 @@
+"""Unit tests for traffic metering and summary statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.stats import LatencySampler, SummaryStats, TrafficMeter
+
+
+def test_traffic_meter_accumulates():
+    meter = TrafficMeter()
+    meter.record(0, -1, 100)
+    meter.record(-1, 0, 50)
+    meter.record(1, -1, 25)
+    assert meter.total_bytes == 175
+    assert meter.total_messages == 3
+    assert meter.bytes_sent[0] == 100
+    assert meter.bytes_received[-1] == 125
+    assert meter.pair_bytes[(0, -1)] == 100
+
+
+def test_traffic_meter_kb():
+    meter = TrafficMeter()
+    meter.record(0, 1, 2048)
+    assert meter.total_kb == pytest.approx(2.0)
+
+
+def test_summary_of_empty_is_nan():
+    stats = SummaryStats.of([])
+    assert stats.count == 0
+    assert math.isnan(stats.mean)
+    assert math.isnan(stats.p95)
+
+
+def test_summary_single_value():
+    stats = SummaryStats.of([42.0])
+    assert stats.count == 1
+    assert stats.mean == 42.0
+    assert stats.minimum == 42.0
+    assert stats.maximum == 42.0
+    assert stats.p50 == 42.0
+    assert stats.p99 == 42.0
+    assert stats.stddev == 0.0
+
+
+def test_summary_known_values():
+    stats = SummaryStats.of([1.0, 2.0, 3.0, 4.0])
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.minimum == 1.0
+    assert stats.maximum == 4.0
+    assert stats.p50 == 2.0
+
+
+def test_percentiles_of_hundred_values():
+    stats = SummaryStats.of(float(i) for i in range(1, 101))
+    assert stats.p50 == 50.0
+    assert stats.p95 == 95.0
+    assert stats.p99 == 99.0
+
+
+def test_sampler_overall_and_per_client():
+    sampler = LatencySampler()
+    sampler.record(10.0, client=0)
+    sampler.record(20.0, client=0)
+    sampler.record(30.0, client=1)
+    assert sampler.summary().count == 3
+    assert sampler.mean == pytest.approx(20.0)
+    assert sampler.client_summary(0).mean == pytest.approx(15.0)
+    assert sampler.client_summary(1).count == 1
+
+
+def test_sampler_without_client_attribution():
+    sampler = LatencySampler()
+    sampler.record(5.0)
+    assert sampler.summary().count == 1
+    assert sampler.client_summary(0).count == 0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+def test_summary_bounds_property(values):
+    stats = SummaryStats.of(values)
+    tol = 1e-6 * max(1.0, abs(stats.minimum), abs(stats.maximum))
+    assert stats.minimum - tol <= stats.mean <= stats.maximum + tol
+    assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+    assert stats.stddev >= 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+def test_summary_scale_invariance(values):
+    base = SummaryStats.of(values)
+    shifted = SummaryStats.of(v + 100.0 for v in values)
+    assert shifted.mean == pytest.approx(base.mean + 100.0, rel=1e-9, abs=1e-6)
+    assert shifted.stddev == pytest.approx(base.stddev, rel=1e-9, abs=1e-6)
