@@ -8,6 +8,9 @@ calibrated cost model stands in for.
 
 import random
 
+import pytest
+
+from pushpath_common import build_closure_queue, build_push_server
 from repro.core.action import Action, ActionId
 from repro.core.closure import QueueEntry, transitive_closure
 from repro.core.info_bound import InformationBound
@@ -81,6 +84,48 @@ def test_spatial_query_10k_walls(benchmark):
 
     found = benchmark(run)
     assert found
+
+
+@pytest.mark.parametrize("num_clients", [512, 2048])
+@pytest.mark.parametrize("path", ["brute", "indexed"])
+def test_push_cycle(benchmark, num_clients, path):
+    """One First Bound push cycle over a freshly validated window —
+    the server loop the spatial client index makes output-sensitive.
+    Compare the ``brute`` and ``indexed`` ids to read the speedup."""
+
+    def setup():
+        server = build_push_server(num_clients, 128, indexed=(path == "indexed"))
+        return (server,), {}
+
+    def run(server):
+        server._push_cycle()
+        return server.stats.closures_computed
+
+    closures = benchmark.pedantic(run, setup=setup, rounds=3)
+    assert closures > 0
+
+
+@pytest.mark.parametrize("path", ["brute", "indexed"])
+def test_transitive_closure_2048_uncommitted(benchmark, path):
+    """Algorithm 6 on a long queue: the brute walk scans every entry,
+    the inverted write index jumps straight between actual writers."""
+    entries, index = build_closure_queue(2048, 256)
+
+    def setup():
+        for entry in entries:
+            entry.sent.clear()
+        return (), {}
+
+    def run():
+        if path == "indexed":
+            return transitive_closure(
+                entries, len(entries) - 1, client_id=999,
+                writer_index=index, base_pos=0,
+            )
+        return transitive_closure(entries, len(entries) - 1, client_id=999)
+
+    chain, _seed = benchmark.pedantic(run, setup=setup, rounds=50)
+    assert chain[-1] == 2047
 
 
 def test_event_loop_throughput_10k_events(benchmark):

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 tests + the push-path wall-clock benchmark.
+#
+# Runs the full test suite (differential/property tests included), then
+# regenerates BENCH_pushpath.json (repo root + benchmarks/results/) so
+# every PR leaves a fresh before/after perf record.
+#
+# Usage:  scripts/bench.sh [--quick]        (--quick: smaller end-to-end run)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m pytest -x -q
+python benchmarks/bench_wallclock.py "$@"

@@ -21,6 +21,7 @@ format.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.action import Action, ActionResult
@@ -75,6 +76,9 @@ def transitive_closure(
     entries: Sequence[QueueEntry],
     candidate_index: int,
     client_id: ClientId,
+    *,
+    writer_index=None,
+    base_pos: int = 0,
 ) -> Tuple[List[int], frozenset[ObjectId]]:
     """Algorithm 6 for ``entries[candidate_index]`` and client C.
 
@@ -85,6 +89,13 @@ def transitive_closure(
     blind write must carry.  Marks every returned entry as sent to C
     (including the candidate), mirroring the in-place ``sent(a)``
     updates of the paper's pseudocode.
+
+    When the server supplies its :class:`~repro.core.indexes.WriterIndex`
+    (with ``base_pos`` = the queue position of ``entries[0]``), the walk
+    jumps directly between the uncommitted writers of the accumulated
+    read set instead of scanning every earlier entry.  Both walks visit
+    the same entries in the same descending order and are observationally
+    identical — the index only changes wall-clock cost.
     """
     candidate = entries[candidate_index]
     if candidate.valid is False:
@@ -95,19 +106,45 @@ def transitive_closure(
         )
     accumulated: Set[ObjectId] = set(candidate.action.reads)
     chain: List[int] = [candidate_index]
-    for j in range(candidate_index - 1, -1, -1):
-        entry = entries[j]
-        if entry.valid is False:
-            continue
-        action = entry.action
-        if not (action.writes & accumulated):
-            continue
-        if client_id in entry.sent:
-            accumulated -= action.writes
-        else:
-            accumulated |= action.reads
-            chain.append(j)
-            entry.sent.add(client_id)
+    if writer_index is None:
+        # Brute-force walk.  Iterate via reversed() rather than indexing
+        # so a deque-backed queue costs O(1) per entry.
+        descending = islice(reversed(entries), len(entries) - candidate_index, None)
+        for j, entry in zip(range(candidate_index - 1, -1, -1), descending):
+            if entry.valid is False:
+                continue
+            action = entry.action
+            if not (action.writes & accumulated):
+                continue
+            if client_id in entry.sent:
+                accumulated -= action.writes
+            else:
+                accumulated |= action.reads
+                chain.append(j)
+                entry.sent.add(client_id)
+    else:
+        cursor = base_pos + candidate_index
+        while accumulated:
+            best = -1
+            for oid in accumulated:
+                writer = writer_index.last_writer_before(oid, cursor)
+                if writer > best:
+                    best = writer
+            if best < base_pos:
+                break  # no uncommitted writer of S below the cursor
+            cursor = best
+            entry = entries[best - base_pos]
+            if entry.valid is False:
+                continue  # dropped entries are no-ops, never join
+            action = entry.action
+            if not (action.writes & accumulated):
+                continue  # writer of an oid meanwhile removed from S
+            if client_id in entry.sent:
+                accumulated -= action.writes
+            else:
+                accumulated |= action.reads
+                chain.append(best - base_pos)
+                entry.sent.add(client_id)
     candidate.sent.add(client_id)
     chain.reverse()
     return chain, frozenset(accumulated)

@@ -87,6 +87,11 @@ class SeveConfig:
     #: Relay-group size for the hybrid mode (§VII future work): server
     #: egress per group tends toward 1/group_size.
     hybrid_group_size: int = 4
+    #: Wall-clock distribution indexes (spatial client index + inverted
+    #: write index — see docs/performance.md).  Observationally
+    #: equivalent to the brute-force scans; the differential tests turn
+    #: them off to prove it.  Simulated costs are unaffected either way.
+    use_distribution_indexes: bool = True
     costs: ServerCosts = field(default_factory=ServerCosts)
     #: Retained committed versions per object on the server (``None`` =
     #: unbounded, which the Theorem 1 consistency checks rely on; bound
@@ -179,6 +184,8 @@ class SeveEngine:
             tick_ms=config.tick_ms,
             costs=config.costs,
             avatar_of=self.world.avatar_of,
+            use_spatial_index=config.use_distribution_indexes,
+            use_writer_index=config.use_distribution_indexes,
         )
         if config.mode == "hybrid":
             from repro.core.hybrid import HybridRelayServer

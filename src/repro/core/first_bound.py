@@ -124,6 +124,28 @@ class FirstBoundPredicate:
             action.position, action.radius, client_position, self.reach, client_radius
         )
 
+    def index_radius(
+        self, action: Action, max_client_radius: float
+    ) -> Optional[float]:
+        """Conservative candidate radius for a spatial client-index
+        lookup, or ``None`` when the action cannot be spatially indexed
+        and must be tested against every client.
+
+        For a plain sphere of influence, every client the Equation (1)
+        test can admit lies within ``reach + r_A + max r_C`` of p̄_A, so
+        a radius query over committed client positions is a superset of
+        the exact predicate.  Two cases defeat indexing and fall back to
+        the full scan: actions without a position (conservatively affect
+        everyone), and — under velocity culling — actions with a
+        velocity vector, whose projected position depends on each
+        client's own t_C and therefore has no single query center.
+        """
+        if action.position is None:
+            return None
+        if self.use_velocity_culling and action.velocity is not None:
+            return None
+        return self.reach + action.radius + max_client_radius
+
     def chain_bound(self, threshold: float) -> float:
         """Equation (2): the combined (loose) bound on how far an action
         affecting a client may originate once the Information Bound

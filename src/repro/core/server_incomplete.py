@@ -21,12 +21,15 @@ Responsibilities (and *only* these — the server runs no game logic):
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.action import Action, BlindWrite
 from repro.core.closure import KnownValuesTracker, QueueEntry, transitive_closure
 from repro.core.first_bound import FirstBoundPredicate
+from repro.core.indexes import ClientSpatialIndex, WriterIndex
 from repro.core.info_bound import InformationBound
 from repro.core.interest import is_consequential
 from repro.core.messages import (
@@ -105,6 +108,20 @@ class IncompleteWorldServer:
     * ``info_bound=InformationBound(...)`` — adds Algorithm 7 dropping
       (requires push mode: validation is tick-aligned, and reactive
       replies would race the verdicts).
+
+    Distribution indexes
+    --------------------
+    Two inverted indexes (see :mod:`repro.core.indexes` and
+    docs/performance.md) make the distribution path output-sensitive in
+    *wall-clock* terms: a spatial index over committed avatar positions
+    turns the push cycle's O(clients x actions) scan into per-action
+    candidate queries, and a per-object writer index lets Algorithm 6
+    jump between actual writers instead of scanning the queue.  Both are
+    observationally equivalent to the scans they replace — batches,
+    stats, and the simulated :class:`ServerCosts` accounting are
+    byte-identical with the indexes on or off (``use_spatial_index`` /
+    ``use_writer_index`` exist for the differential tests and
+    benchmarks that prove it).
     """
 
     def __init__(
@@ -119,6 +136,8 @@ class IncompleteWorldServer:
         tick_ms: TimeMs = 100.0,
         costs: Optional[ServerCosts] = None,
         avatar_of: Optional[Callable[[ClientId], ObjectId]] = None,
+        use_spatial_index: bool = True,
+        use_writer_index: bool = True,
     ) -> None:
         if info_bound is not None and predicate is None:
             raise ConfigurationError(
@@ -144,12 +163,21 @@ class IncompleteWorldServer:
             Callable[[int, ClientId, Dict[ObjectId, dict]], None]
         ] = None
         self.clients: Dict[ClientId, ClientRecord] = {}
-        self._entries: List[QueueEntry] = []
+        self._entries: Deque[QueueEntry] = deque()
         self._next_pos = 0
         self._base_pos = 0  # pos of _entries[0]; == _next_pos when empty
         self._validated_upto = -1
         self._blind_seq = 0
         self._stoppers: List[Callable[[], None]] = []
+        self._writer_index = WriterIndex() if use_writer_index else None
+        # The spatial candidate index needs committed avatar positions,
+        # so it only exists when the server can map clients to avatars.
+        self._client_index = (
+            ClientSpatialIndex()
+            if use_spatial_index and avatar_of is not None
+            else None
+        )
+        self._avatar_owner: Dict[ObjectId, ClientId] = {}
         network.register(SERVER_ID, self._on_message)
 
     # ------------------------------------------------------------------
@@ -171,11 +199,22 @@ class IncompleteWorldServer:
             interests=interests,
             scanned_pos=self._next_pos - 1,
         )
+        if self._client_index is not None:
+            avatar_oid = self.avatar_of(client_id) if self.avatar_of else None
+            if avatar_oid is not None:
+                self._avatar_owner[avatar_oid] = client_id
+            self._client_index.note_radius(radius)
+            self._client_index.update(client_id, self._client_position(client_id))
 
     def detach_client(self, client_id: ClientId) -> None:
         """Unregister a failed/departed client."""
         self.clients.pop(client_id, None)
         self.known.forget_client(client_id)
+        if self._client_index is not None:
+            self._client_index.remove(client_id)
+            avatar_oid = self.avatar_of(client_id) if self.avatar_of else None
+            if avatar_oid is not None and self._avatar_owner.get(avatar_oid) == client_id:
+                del self._avatar_owner[avatar_oid]
 
     def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
         """Install the periodic processes (validation tick, push cycle)."""
@@ -220,6 +259,8 @@ class IncompleteWorldServer:
         entry = QueueEntry(self._next_pos, action, arrived_at=self.sim.now)
         self._next_pos += 1
         self._entries.append(entry)
+        if self._writer_index is not None:
+            self._writer_index.note_enqueued(entry.pos, action.writes)
         self.stats.actions_serialized += 1
         if self.info_bound is None:
             entry.valid = True
@@ -244,7 +285,13 @@ class IncompleteWorldServer:
         and the simulated CPU cost of computing them.
         """
         index = entry.pos - self._base_pos
-        chain, seed = transitive_closure(self._entries, index, client_id)
+        chain, seed = transitive_closure(
+            self._entries,
+            index,
+            client_id,
+            writer_index=self._writer_index,
+            base_pos=self._base_pos,
+        )
         self.stats.closures_computed += 1
         cost = self.costs.closure_ms
         batch_entries: List[OrderedAction] = []
@@ -283,10 +330,14 @@ class IncompleteWorldServer:
         if first_new >= len(self._entries):
             return
         new_count = len(self._entries) - first_new
-        dropped_indices = self.info_bound.validate(self._entries, first_new)
+        # Algorithm 7 indexes entries element-wise both ways; hand it a
+        # list view of the deque (same QueueEntry objects, so the
+        # in-place ``valid`` verdicts land in the queue).
+        entries_view = list(self._entries)
+        dropped_indices = self.info_bound.validate(entries_view, first_new)
         # Advance the contiguous validation frontier; under the delay
         # policy a deferred entry (valid still None) stops it early.
-        for entry in self._entries[first_new:]:
+        for entry in islice(entries_view, first_new, None):
             if entry.valid is None:
                 break
             self._validated_upto = entry.pos
@@ -294,7 +345,7 @@ class IncompleteWorldServer:
 
         notices = []
         for index in dropped_indices:
-            entry = self._entries[index]
+            entry = entries_view[index]
             self.stats.actions_dropped += 1
             notices.append((entry.action.client_id, AbortNotice(entry.action.action_id)))
 
@@ -314,10 +365,16 @@ class IncompleteWorldServer:
     def _push_cycle(self) -> None:
         assert self.predicate is not None
         self.stats.push_cycles += 1
+        candidates = self._push_candidates()
         batches: List[Tuple[ClientId, List[OrderedAction]]] = []
         total_cost = 0.0
         for record in self.clients.values():
-            batch_entries, cost = self._collect_push(record)
+            if candidates is None:
+                batch_entries, cost = self._collect_push(record)
+            else:
+                batch_entries, cost = self._collect_push(
+                    record, candidates.get(record.client_id, ())
+                )
             total_cost += cost
             if batch_entries:
                 batches.append((record.client_id, batch_entries))
@@ -341,17 +398,92 @@ class IncompleteWorldServer:
         for client_id, batch_entries in batches:
             self._send_batch(client_id, batch_entries)
 
+    def _push_candidates(self) -> Optional[Dict[ClientId, List[int]]]:
+        """Invert the push scan: per client, the ascending queue
+        positions of newly validated entries that *might* affect it.
+
+        For each entry, one spatial query over committed avatar
+        positions yields the candidate recipients (Equation (1) can
+        admit no one outside ``reach + r_A + max r_C`` of p̄_A);
+        position-less actions, velocity-culled actions, and
+        position-less clients conservatively stay candidates for
+        everything.  Candidates are then exact-filtered per client by
+        :meth:`_wants`, so the result is observationally identical to
+        the brute-force scan.  Returns ``None`` when the spatial index
+        is unavailable and the push cycle must scan every client.
+        """
+        index = self._client_index
+        if index is None:
+            return None
+        per_client: Dict[ClientId, List[int]] = {}
+        if not self.clients:
+            return per_client
+        start = max(
+            self._base_pos,
+            min(record.scanned_pos for record in self.clients.values()) + 1,
+        )
+        upto = self._validated_upto
+        if start > upto:
+            return per_client
+        all_ids: Optional[List[ClientId]] = None
+        assert self.predicate is not None
+        max_radius = index.max_client_radius
+        for pos, entry in zip(
+            range(start, upto + 1),
+            islice(self._entries, start - self._base_pos, upto + 1 - self._base_pos),
+        ):
+            if entry.valid is False:
+                continue
+            radius = self.predicate.index_radius(entry.action, max_radius)
+            if radius is None:
+                # Conservative broadcast candidates: every client.
+                if all_ids is None:
+                    all_ids = list(self.clients)
+                targets = all_ids
+            else:
+                targets = index.candidates(entry.action.position, radius)
+                own = entry.action.client_id
+                if own not in targets:
+                    targets.append(own)  # own actions always come back
+            for client_id in targets:
+                bucket = per_client.get(client_id)
+                if bucket is None:
+                    per_client[client_id] = [pos]
+                else:
+                    bucket.append(pos)
+        return per_client
+
     def _collect_push(
-        self, record: ClientRecord
+        self,
+        record: ClientRecord,
+        candidate_positions: Optional[Sequence[int]] = None,
     ) -> Tuple[List[OrderedAction], float]:
         """All validated actions in (scanned, validated] that this client
-        needs — Equation (1) survivors, own actions, and their closures."""
+        needs — Equation (1) survivors, own actions, and their closures.
+
+        ``candidate_positions`` (from :meth:`_push_candidates`) restricts
+        the scan to the ascending queue positions the spatial index
+        nominated for this client; ``None`` scans the whole window.
+        """
         start = max(record.scanned_pos + 1, self._base_pos)
         client_position = self._client_position(record.client_id)
         batch_entries: List[OrderedAction] = []
         cost = 0.0
-        for pos in range(start, self._validated_upto + 1):
-            entry = self._entries[pos - self._base_pos]
+        if candidate_positions is None:
+            entries = list(
+                islice(
+                    self._entries,
+                    start - self._base_pos,
+                    self._validated_upto + 1 - self._base_pos,
+                )
+            )
+        else:
+            entries = [
+                self._entries[pos - self._base_pos]
+                for pos in candidate_positions
+                if pos >= start
+            ]
+        for entry in entries:
             if entry.valid is False or record.client_id in entry.sent:
                 continue
             if not self._wants(record, entry, client_position):
@@ -420,13 +552,17 @@ class IncompleteWorldServer:
     def _advance_frontier(self) -> None:
         """Install ready entries in strict queue order; GC the queue."""
         while self._entries and self._entries[0].committed_ready:
-            entry = self._entries.pop(0)
+            entry = self._entries.popleft()
             self._base_pos = entry.pos + 1
+            if self._writer_index is not None:
+                self._writer_index.note_dequeued(entry.action.writes, self._base_pos)
             if entry.valid is False:
                 continue
             assert entry.completion is not None
             values = entry.completion.values()
             self.state.merge(values, commit_index=entry.pos)
+            if self._client_index is not None:
+                self._refresh_indexed_positions(values)
             self.known.record_commit(
                 entry.pos, entry.completion.written_ids(), entry.sent
             )
@@ -434,6 +570,16 @@ class IncompleteWorldServer:
             self._note_position_change(entry)
             if self.on_commit is not None:
                 self.on_commit(entry.pos, entry.action.client_id, values)
+
+    def _refresh_indexed_positions(self, values: Dict[ObjectId, dict]) -> None:
+        """Mirror a commit's avatar writes into the spatial client index
+        so candidate queries always see exactly ζ_S's positions."""
+        for oid in values:
+            client_id = self._avatar_owner.get(oid)
+            if client_id is not None and client_id in self.clients:
+                self._client_index.update(
+                    client_id, self._client_position(client_id)
+                )
 
     def _note_position_change(self, entry: QueueEntry) -> None:
         """Track t_C for velocity culling: the originator's committed

@@ -5,32 +5,47 @@ All protocol components (clients, servers, links, CPUs) schedule work on
 a single :class:`Simulator`; time only advances when the event at the
 head of the queue is dispatched.  Ties are broken by insertion order, so
 a run is fully reproducible given the same inputs.
+
+The heap holds plain ``(time, seq, event)`` tuples rather than rich
+event objects: ``seq`` is unique, so comparisons never reach the event
+handle and stay in C-speed tuple ordering.  The :class:`Event` handle
+exists only for cancellation; the live-event count is maintained
+incrementally so :attr:`Simulator.pending` is O(1) instead of an O(n)
+queue scan (see docs/performance.md).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.types import TimeMs
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle for a scheduled callback.
 
-    Events order by ``(time, seq)``; ``seq`` is a monotonically
+    Events dispatch in ``(time, seq)`` order; ``seq`` is a monotonically
     increasing insertion counter, which makes dispatch order (and hence
     the whole simulation) deterministic.
     """
 
-    time: TimeMs
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: TimeMs,
+        seq: int,
+        callback: Optional[Callable[[], None]],
+        sim: "Simulator",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event's callback from running.
@@ -38,7 +53,25 @@ class Event:
         Cancelling an already-dispatched or already-cancelled event is a
         harmless no-op.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.callback is not None:
+            # Not yet dispatched: release the closure and keep the live
+            # counter exact (dispatch clears callback before running it).
+            self.callback = None
+            self._sim._live -= 1
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else (
+            "pending" if self.callback is not None else "dispatched"
+        )
+        return f"Event(time={self.time}, seq={self.seq}, {state})"
+
+
+#: One heap slot: (time, seq, handle).  seq is unique, so the handle is
+#: never compared.
+_HeapEntry = Tuple[TimeMs, int, Event]
 
 
 class Simulator:
@@ -56,9 +89,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: TimeMs = 0.0
-        self._queue: list[Event] = []
+        self._queue: List[_HeapEntry] = []
         self._seq = itertools.count()
         self._dispatched = 0
+        self._live = 0
 
     @property
     def now(self) -> TimeMs:
@@ -67,8 +101,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-dispatched, not-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-dispatched, not-cancelled events (O(1))."""
+        return self._live
 
     @property
     def dispatched(self) -> int:
@@ -84,8 +118,11 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}ms into the past")
-        event = Event(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        seq = next(self._seq)
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
         return event
 
     def schedule_at(self, time: TimeMs, callback: Callable[[], None]) -> Event:
@@ -98,13 +135,17 @@ class Simulator:
         Returns ``True`` if an event was dispatched, ``False`` if the
         queue was empty.  Cancelled events are skipped silently.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
-                continue
-            self._now = event.time
+                continue  # already removed from the live count
+            callback = event.callback
+            event.callback = None
+            self._live -= 1
+            self._now = time
             self._dispatched += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -122,12 +163,13 @@ class Simulator:
         observe a consistent end-of-run time.
         """
         dispatched = 0
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and time > until:
                 break
             if max_events is not None and dispatched >= max_events:
                 return
@@ -154,7 +196,7 @@ class Simulator:
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
         stopped = False
-        pending_event: dict[str, Any] = {"event": None}
+        pending_event: dict[str, Optional[Event]] = {"event": None}
 
         def fire() -> None:
             if stopped:

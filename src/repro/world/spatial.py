@@ -118,6 +118,38 @@ class UniformGridIndex(Generic[ItemId]):
                     found.add(item)
         return found
 
+    def query_radius_points(self, center: Vec2, radius: float) -> List[ItemId]:
+        """Point items within ``radius`` of ``center``, as a list.
+
+        Hot-path variant of :meth:`query_radius` for indexes that hold
+        only point items (each lives in exactly one cell, so no dedup
+        set is needed) — the server's per-action client candidate query
+        runs through here once per validated entry per push cycle.  The
+        distance test compares squared magnitudes, which can differ from
+        :meth:`query_radius`'s rounded ``hypot`` by one ulp at the exact
+        boundary; callers needing a conservative candidate set should
+        inflate ``radius`` accordingly.  Box items are skipped.
+        """
+        found: List[ItemId] = []
+        radius_sq = radius * radius
+        cells = self._cells
+        item_pos = self._item_pos
+        cx = center.x
+        cy = center.y
+        for cell in self._cells_of_box(cx - radius, cy - radius, cx + radius, cy + radius):
+            bucket = cells.get(cell)
+            if not bucket:
+                continue
+            for item in bucket:
+                pos = item_pos.get(item)
+                if pos is None:
+                    continue  # box item: not a point, no position
+                dx = pos.x - cx
+                dy = pos.y - cy
+                if dx * dx + dy * dy <= radius_sq:
+                    found.append(item)
+        return found
+
     def query_box(
         self, min_x: float, min_y: float, max_x: float, max_y: float
     ) -> Set[ItemId]:

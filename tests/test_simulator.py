@@ -135,6 +135,35 @@ def test_pending_counts_only_live_events(sim):
     assert keep is not None
 
 
+def test_pending_is_live_counter_not_scan(sim):
+    # pending is maintained incrementally: dispatch and cancel both
+    # decrement it exactly once, double-cancel does not double-count.
+    events = [sim.schedule(float(i), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    events[0].cancel()
+    events[0].cancel()
+    assert sim.pending == 4
+    sim.step()  # dispatches event 1 (event 0 is cancelled)
+    assert sim.pending == 3
+    events[1].cancel()  # already dispatched: no-op
+    assert sim.pending == 3
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_cancel_during_own_dispatch_is_noop(sim):
+    holder = {}
+
+    def self_cancel():
+        holder["event"].cancel()
+
+    holder["event"] = sim.schedule(1.0, self_cancel)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert sim.pending == 0
+    assert sim.dispatched == 2
+
+
 def test_dispatched_counter(sim):
     for i in range(4):
         sim.schedule(float(i), lambda: None)
