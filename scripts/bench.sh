@@ -11,5 +11,5 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-python -m pytest -x -q
+scripts/test.sh
 python benchmarks/bench_wallclock.py "$@"

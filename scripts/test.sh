@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Test driver: fast tier-1 suite first, then the slow fault-injection
+# matrix (docs/fault_model.md).
+#
+# Usage:
+#   scripts/test.sh            fast suite, then the fault matrix
+#   scripts/test.sh --fast     fast suite only (deselects slow tests)
+#   scripts/test.sh --faults   fault matrix only (-m faults)
+#
+# The fast suite is the pre-commit gate; the fault matrix replays
+# degraded-network and churn scenarios (loss, jitter, duplication,
+# crash/reconnect) across the architectures and takes several minutes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+case "${1:-}" in
+  --fast)
+    python -m pytest -x -q -m "not slow"
+    ;;
+  --faults)
+    python -m pytest -x -q -m faults
+    ;;
+  *)
+    python -m pytest -x -q -m "not slow"
+    python -m pytest -x -q -m "slow and not faults"
+    python -m pytest -x -q -m faults
+    ;;
+esac

@@ -56,6 +56,8 @@ class BroadcastEngine(BaselineEngine):
         def relay() -> None:
             self.stats.actions_relayed += 1
             for client_id in self.clients:
+                if client_id in self.evicted:
+                    continue  # presumed dead (Section III-C)
                 self.network.send(SERVER_ID, client_id, relayed, size)
                 self.stats.messages_sent += 1
 

@@ -88,6 +88,8 @@ class CentralEngine(BaselineEngine):
         size = wire_size(update)
         actor_position = action.position
         for client_id in self.clients:
+            if client_id in self.evicted:
+                continue  # presumed dead (Section III-C)
             if client_id != action.client_id and not self._interested(
                 client_id, actor_position
             ):

@@ -7,19 +7,34 @@ and *who receives*.  :class:`BaselineClient` provides the client shell —
 a single local replica, a simulated CPU, submission bookkeeping and
 response-time measurement — and :class:`BaselineEngine` the common
 assembly (simulator, star network, hosts, world state).
+
+The engine also hosts the baselines' half of the fault-tolerance
+machinery (see docs/fault_model.md): deterministic fault injection on
+the network, idempotent absorption of client resubmissions (dedup by
+``ActionId``), heartbeat-driven liveness eviction, and crash/reconnect
+bookkeeping — so every architecture faces the same degraded network the
+SEVE engine does.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from repro.core.action import Action, ActionId
-from repro.core.messages import SubmitAction, wire_size
+from repro.core.messages import Heartbeat, SubmitAction, wire_size
 from repro.errors import ConfigurationError, ProtocolError
+from repro.net.faults import (
+    FaultInjector,
+    FaultPlan,
+    LivenessConfig,
+    ReliabilityConfig,
+    RetryPolicy,
+)
 from repro.net.host import Host
 from repro.net.network import Network
-from repro.net.simulator import Simulator
+from repro.net.simulator import Event, Simulator
 from repro.net.stats import LatencySampler
 from repro.state.store import ObjectStore
 from repro.state.versioned import VersionedStore
@@ -38,6 +53,10 @@ class BaselineConfig:
     evaluation (the paper's measured ~60 ms per 32-action round on top
     of 32 x 7.44 ms, i.e. ~1.9 ms/action — this is what puts the
     Figure 6 knee at 30-32 clients).
+
+    The fault-tolerance knobs mirror :class:`repro.core.engine.SeveConfig`:
+    ``fault_plan`` (deterministic injection), ``reliability`` (ARQ),
+    ``retry`` (client resubmission), ``liveness`` (heartbeat eviction).
     """
 
     rtt_ms: TimeMs = 238.0
@@ -45,6 +64,10 @@ class BaselineConfig:
     update_apply_cost_ms: float = 0.1
     relay_cost_ms: float = 0.01
     eval_overhead_ms: float = 1.9
+    fault_plan: Optional[FaultPlan] = None
+    reliability: Optional[ReliabilityConfig] = None
+    retry: Optional[RetryPolicy] = None
+    liveness: Optional[LivenessConfig] = None
 
     def __post_init__(self) -> None:
         if self.rtt_ms < 0:
@@ -67,15 +90,25 @@ class BaselineClient:
         client_id: ClientId,
         store: ObjectStore,
         handler: Callable[[ClientId, object], None],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
     ) -> None:
         self.sim = sim
         self.network = network
         self.host = host
         self.client_id = client_id
         self.store = store
+        self.retry = retry
         self._submit_times: Dict[ActionId, TimeMs] = {}
         self.submitted = 0
         self.evaluated = 0
+        #: Application-level resubmissions of unanswered actions.
+        self.retransmissions = 0
+        #: Actions given up on after ``RetryPolicy.max_attempts``.
+        self.retries_exhausted = 0
+        self._retry_timers: Dict[ActionId, Event] = {}
+        self._retry_rng = random.Random((retry_seed << 17) ^ (client_id * 0x9E3779B1))
         self.on_confirmed: Optional[Callable[[Action, TimeMs], None]] = None
         network.register(client_id, handler)
 
@@ -89,15 +122,54 @@ class BaselineClient:
         self._submit_times[action.action_id] = self.sim.now
         message = SubmitAction(action)
         self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+        if self.retry is not None:
+            self._arm_retry(action, 0)
 
     def note_response(self, action: Action) -> None:
         """The architecture observed the authoritative outcome of one of
         this client's actions; record its response time."""
         submitted_at = self._submit_times.pop(action.action_id, None)
+        self._cancel_retry(action.action_id)
         if submitted_at is None:
             return
         if self.on_confirmed is not None:
             self.on_confirmed(action, self.sim.now - submitted_at)
+
+    # -- reliability --------------------------------------------------------
+    def _arm_retry(self, action: Action, attempt: int) -> None:
+        if attempt >= self.retry.max_attempts:
+            self.retries_exhausted += 1
+            return
+        delay = self.retry.delay(attempt, self._retry_rng)
+        self._retry_timers[action.action_id] = self.sim.schedule(
+            delay, lambda: self._retry_fire(action, attempt)
+        )
+
+    def _retry_fire(self, action: Action, attempt: int) -> None:
+        action_id = action.action_id
+        self._retry_timers.pop(action_id, None)
+        if action_id not in self._submit_times:
+            return  # answered while the timer ran
+        if not self.network.is_registered(self.client_id):
+            return  # we crashed
+        self.retransmissions += 1
+        message = SubmitAction(action)
+        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+        self._arm_retry(action, attempt + 1)
+
+    def _cancel_retry(self, action_id: ActionId) -> None:
+        timer = self._retry_timers.pop(action_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def send_heartbeat(self) -> None:
+        """One liveness beacon to the server (deliberately unreliable)."""
+        if not self.network.is_registered(self.client_id):
+            return
+        message = Heartbeat(self.client_id)
+        self.network.send(
+            self.client_id, SERVER_ID, message, wire_size(message), reliable=False
+        )
 
 
 class BaselineEngine:
@@ -120,16 +192,34 @@ class BaselineEngine:
         self.world = world
         self.config = config or BaselineConfig()
         self.sim = Simulator()
+        plan = self.config.fault_plan
+        self.faults = (
+            FaultInjector(plan) if plan is not None and not plan.is_null else None
+        )
         self.network = Network(
             self.sim,
             rtt_ms=self.config.rtt_ms,
             bandwidth_bps=self.config.bandwidth_bps,
+            faults=self.faults,
+            reliability=self.config.reliability,
         )
         self.server_host = Host(self.sim, SERVER_ID)
         self.state = VersionedStore(world.initial_objects())
         self.response_times = LatencySampler()
         self.clients: Dict[ClientId, BaselineClient] = {}
-        self.network.register(SERVER_ID, self._on_server_message)
+        #: Clients the server presumes dead (liveness eviction).
+        self.evicted: Set[ClientId] = set()
+        #: Clients the harness crashed (may later reconnect).
+        self.dead: Set[ClientId] = set()
+        #: Liveness evictions performed (harness counter).
+        self.liveness_evictions = 0
+        #: Resubmissions absorbed by the ActionId dedup filter.
+        self.duplicate_submissions = 0
+        self._seen_actions: Set[ActionId] = set()
+        self._last_heard: Dict[ClientId, TimeMs] = {}
+        self._heartbeat_stoppers: Dict[ClientId, Callable[[], None]] = {}
+        self._stop_liveness: Optional[Callable[[], None]] = None
+        self.network.register(SERVER_ID, self._server_dispatch)
         for client_id in range(num_clients):
             host = Host(self.sim, client_id)
             client = BaselineClient(
@@ -139,9 +229,12 @@ class BaselineEngine:
                 client_id,
                 self.state.snapshot(),
                 self._make_client_handler(client_id),
+                retry=self.config.retry,
+                retry_seed=plan.seed if plan is not None else 0,
             )
             client.on_confirmed = self._make_confirm_hook(client_id)
             self.clients[client_id] = client
+            self._last_heard[client_id] = 0.0
 
     # -- subclass responsibilities ----------------------------------------
     def _on_server_message(self, src: ClientId, payload: object) -> None:
@@ -153,6 +246,22 @@ class BaselineEngine:
         raise NotImplementedError
 
     # -- wiring -------------------------------------------------------------
+    def _server_dispatch(self, src: ClientId, payload: object) -> None:
+        """Common server-side front door: liveness bookkeeping, heartbeat
+        absorption, and idempotent dedup of resubmitted actions — then
+        the architecture-specific handler."""
+        if src in self._last_heard:
+            self._last_heard[src] = self.sim.now
+        if isinstance(payload, Heartbeat):
+            return
+        if isinstance(payload, SubmitAction):
+            action_id = payload.action.action_id
+            if action_id in self._seen_actions:
+                self.duplicate_submissions += 1
+                return
+            self._seen_actions.add(action_id)
+        self._on_server_message(src, payload)
+
     def _make_client_handler(
         self, client_id: ClientId
     ) -> Callable[[ClientId, object], None]:
@@ -169,10 +278,83 @@ class BaselineEngine:
 
         return hook
 
-    # -- uniform driving surface --------------------------------------------
+    # -- liveness (Section III-C, applied uniformly) ------------------------
     def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
-        """Baselines have no periodic server processes by default."""
+        """Install heartbeats and the liveness sweep when configured
+        (baselines have no other periodic server processes)."""
+        if self.config.liveness is None:
+            return
+        for client_id in self.clients:
+            self._install_heartbeat(client_id, stop_at=stop_at)
+        if self._stop_liveness is None:
+            self._stop_liveness = self.sim.call_every(
+                self.config.liveness.effective_check_interval_ms,
+                self._liveness_tick,
+                stop_at=stop_at,
+            )
 
+    def stop(self) -> None:
+        """Tear down heartbeats and the liveness sweep."""
+        for stopper in list(self._heartbeat_stoppers.values()):
+            stopper()
+        self._heartbeat_stoppers.clear()
+        if self._stop_liveness is not None:
+            self._stop_liveness()
+            self._stop_liveness = None
+
+    def _install_heartbeat(
+        self, client_id: ClientId, *, stop_at: Optional[TimeMs] = None
+    ) -> None:
+        client = self.clients[client_id]
+
+        def beat() -> None:
+            if client_id not in self.dead:
+                client.send_heartbeat()
+
+        self._heartbeat_stoppers[client_id] = self.sim.call_every(
+            self.config.liveness.heartbeat_interval_ms, beat, stop_at=stop_at
+        )
+
+    def _liveness_tick(self) -> None:
+        deadline = self.sim.now - self.config.liveness.timeout_ms
+        for client_id in [
+            cid
+            for cid, heard in self._last_heard.items()
+            if heard < deadline and cid not in self.evicted
+        ]:
+            self._evict(client_id)
+
+    def _evict(self, client_id: ClientId) -> None:
+        self.evicted.add(client_id)
+        self._last_heard.pop(client_id, None)
+        self.network.reset_channels(client_id)
+        self.liveness_evictions += 1
+
+    def mark_dead(self, client_id: ClientId) -> None:
+        """The harness crashed this client: silence its heartbeat."""
+        self.dead.add(client_id)
+        stopper = self._heartbeat_stoppers.pop(client_id, None)
+        if stopper is not None:
+            stopper()
+
+    def mark_alive(self, client_id: ClientId) -> None:
+        """The harness reconnected this client."""
+        self.dead.discard(client_id)
+        self.evicted.discard(client_id)
+        self._last_heard[client_id] = self.sim.now
+        if self.config.liveness is not None:
+            self._install_heartbeat(client_id)
+
+    def live_client_ids(self) -> list[ClientId]:
+        """Clients neither crashed nor evicted — the population over
+        which end-of-run consistency is asserted."""
+        return [
+            client_id
+            for client_id in self.clients
+            if client_id not in self.dead and client_id not in self.evicted
+        ]
+
+    # -- uniform driving surface --------------------------------------------
     def planning_store(self, client_id: ClientId) -> ObjectStore:
         """The replica a client plans its next action from."""
         return self.clients[client_id].store
@@ -186,8 +368,35 @@ class BaselineEngine:
         self.sim.run(until=until)
 
     def run_to_quiescence(self, max_extra_ms: TimeMs = 600_000.0) -> None:
-        """Drain every in-flight event (baselines have no periodic work,
-        so the event queue empties naturally)."""
+        """Drain every in-flight event.
+
+        With liveness machinery running, the event queue never empties
+        on its own: step until every surviving client's submissions are
+        answered and every crashed client has been evicted, then tear
+        the periodic processes down and drain the remainder.  Without
+        liveness, stop() is a no-op and the queue empties naturally —
+        the identical pre-fault code path.
+        """
         deadline = self.sim.now + max_extra_ms
+        if self._heartbeat_stoppers or self._stop_liveness is not None:
+            while self.sim.now < deadline:
+                if not self.sim.step():
+                    break
+                if self._quiescent():
+                    break
+        self.stop()
         while self.sim.now < deadline and self.sim.step():
             pass
+
+    def _quiescent(self) -> bool:
+        if any(
+            client._submit_times
+            for client_id, client in self.clients.items()
+            if client_id not in self.dead and client_id not in self.evicted
+        ):
+            return False
+        # A crashed client not yet evicted keeps the run live until the
+        # liveness sweep presumes it dead (Section III-C).
+        return not any(
+            client_id not in self.evicted for client_id in self.dead
+        )

@@ -80,6 +80,8 @@ class RingEngine(BaselineEngine):
             relayed = RelayedAction(action, submitted_at=self.sim.now)
             size = wire_size(relayed)
             for client_id in self.clients:
+                if client_id in self.evicted:
+                    continue  # presumed dead (Section III-C)
                 if client_id != action.client_id and not self._sees(
                     client_id, action.position
                 ):

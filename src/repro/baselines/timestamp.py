@@ -231,8 +231,10 @@ class TimestampEngine(BaselineEngine):
         size = _size(decision)
         if decision.committed:
             for client_id in self.clients:
+                if client_id in self.evicted:
+                    continue  # presumed dead (Section III-C)
                 self.network.send(SERVER_ID, client_id, decision, size)
-        else:
+        elif src not in self.evicted:
             self.network.send(SERVER_ID, src, decision, size)
 
     @property

@@ -21,7 +21,8 @@ from repro.harness import experiments
 from repro.harness.architectures import ARCHITECTURES
 from repro.harness.config import SimulationSettings
 from repro.harness.runner import run_simulation
-from repro.metrics.report import Table
+from repro.metrics.report import Table, fault_rows
+from repro.net.faults import FaultPlan, parse_crash_plan
 
 #: Experiment name -> driver.
 EXPERIMENTS = {
@@ -62,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-consistency-check", action="store_true",
         help="skip the Theorem 1 sweep at quiescence",
     )
+    faults = run.add_argument_group(
+        "fault injection (docs/fault_model.md)"
+    )
+    faults.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="per-message drop probability in [0, 1)",
+    )
+    faults.add_argument(
+        "--jitter-ms", type=float, default=0.0,
+        help="max uniform extra delivery delay (ms)",
+    )
+    faults.add_argument(
+        "--dup-rate", type=float, default=0.0,
+        help="per-message duplicate-delivery probability in [0, 1)",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan's dedicated RNG",
+    )
+    faults.add_argument(
+        "--crash-plan", type=str, default=None, metavar="SPEC",
+        help="crash windows, e.g. '0@800:2500,3@1200' "
+        "(client@crash_ms[:reconnect_ms], comma-separated)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -80,6 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """The FaultPlan the run flags describe, or None when all defaults."""
+    crashes = parse_crash_plan(args.crash_plan) if args.crash_plan else ()
+    if not (args.loss_rate or args.jitter_ms or args.dup_rate or crashes):
+        return None
+    return FaultPlan(
+        loss_rate=args.loss_rate,
+        jitter_ms=args.jitter_ms,
+        duplicate_rate=args.dup_rate,
+        seed=args.fault_seed,
+        crashes=crashes,
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     settings = SimulationSettings(
         num_clients=args.clients,
@@ -92,6 +131,7 @@ def _command_run(args: argparse.Namespace) -> int:
         omega=args.omega,
         threshold=args.threshold,
         seed=args.seed,
+        fault_plan=_fault_plan(args),
     )
     result = run_simulation(
         args.architecture,
@@ -110,6 +150,9 @@ def _command_run(args: argparse.Namespace) -> int:
     table.add_row("avg visible avatars", result.avg_visible)
     if result.consistency is not None:
         table.add_row("consistency", result.consistency.summary())
+    if settings.fault_plan is not None:
+        for metric, value in fault_rows(result):
+            table.add_row(metric, value)
     table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
     table.add_row("wall time (s)", result.wall_seconds)
     print(table.render())

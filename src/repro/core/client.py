@@ -22,6 +22,7 @@ delay — the effect Figures 6–8 measure.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
@@ -31,6 +32,7 @@ from repro.core.messages import (
     ActionBatch,
     Completion,
     GroupBundle,
+    Heartbeat,
     OrderedAction,
     PeerForward,
     SubmitAction,
@@ -38,9 +40,10 @@ from repro.core.messages import (
 )
 from repro.core.pending import PendingQueue
 from repro.errors import MissingObjectError, ProtocolError
+from repro.net.faults import RetryPolicy
 from repro.net.host import Host
 from repro.net.network import Network
-from repro.net.simulator import Simulator
+from repro.net.simulator import Event, Simulator
 from repro.state.store import ObjectStore
 from repro.types import SERVER_ID, ClientId, TimeMs
 
@@ -69,6 +72,19 @@ class ClientConfig:
     ``interests``
         Interest classes for Section IV-A inconsequential-action
         elimination; ``None`` subscribes to everything.
+    ``strict_stream``
+        On a reliable network a duplicate stream position is a protocol
+        bug and raises; under fault injection duplicates are a legal
+        runtime condition, so fault-mode engines set this False and
+        duplicates are counted and skipped instead.
+    ``retry``
+        End-to-end resubmission of unanswered own actions (capped
+        exponential backoff, deterministic jitter).  ``None`` disables
+        retries.  The server absorbs resubmissions idempotently by
+        ``ActionId``.
+    ``retry_seed``
+        Seed material for the client's private retry-jitter RNG (mixed
+        with the client id so clients draw independent streams).
     """
 
     send_completions: bool = False
@@ -76,6 +92,9 @@ class ClientConfig:
     charge_optimistic_cost: bool = True
     eval_overhead_ms: float = 1.9
     interests: Optional[frozenset[str]] = None
+    strict_stream: bool = True
+    retry: Optional[RetryPolicy] = None
+    retry_seed: int = 0
 
 
 @dataclass
@@ -89,6 +108,15 @@ class ClientStats:
     stable_evaluations: int = 0
     blind_writes_applied: int = 0
     mismatches: int = 0
+    #: Duplicate stream deliveries skipped (non-strict mode only).
+    duplicates_skipped: int = 0
+    #: Application-level resubmissions of unanswered own actions.
+    retransmissions: int = 0
+    #: Own actions given up on after ``RetryPolicy.max_attempts``.
+    retries_exhausted: int = 0
+    #: Own echoes that arrived for actions no longer pending, or whose
+    #: older pending siblings' echoes were lost (non-strict mode only).
+    own_echoes_lost: int = 0
 
 
 class ProtocolClient:
@@ -120,6 +148,10 @@ class ProtocolClient:
         self._submit_times: Dict[ActionId, TimeMs] = {}
         self._applied_positions: Set[int] = set()
         self._gc_frontier = -1
+        self._retry_timers: Dict[ActionId, Event] = {}
+        self._retry_rng = random.Random(
+            (self.config.retry_seed << 17) ^ (client_id * 0x9E3779B1)
+        )
         #: Hook: own action confirmed stable; args (action, response_ms).
         self.on_confirmed: Optional[Callable[[Action, TimeMs], None]] = None
         #: Hook: own action dropped by the server; args (action_id,).
@@ -150,6 +182,8 @@ class ProtocolClient:
         self._submit_times[action.action_id] = self.sim.now
         message = SubmitAction(action)
         self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+        if self.config.retry is not None:
+            self._arm_retry(action, 0)
 
         # The queue/replica update is synchronous so that protocol state
         # is never behind the network (a backlogged CPU must not let the
@@ -227,10 +261,17 @@ class ProtocolClient:
 
     def _enqueue_entry(self, entry: OrderedAction) -> None:
         if entry.pos >= 0:
+            # The GC frontier is deliberately NOT a duplicate signal: a
+            # batch's last_installed covers the batch's own entries, so
+            # first deliveries at pos <= frontier are legitimate.  The
+            # ARQ transport dedups injected duplicates below this layer.
             if entry.pos in self._applied_positions:
-                raise ProtocolError(
-                    f"client {self.client_id}: duplicate delivery of pos {entry.pos}"
-                )
+                if self.config.strict_stream:
+                    raise ProtocolError(
+                        f"client {self.client_id}: duplicate delivery of pos {entry.pos}"
+                    )
+                self.stats.duplicates_skipped += 1
+                return
             self._applied_positions.add(entry.pos)
         cost = entry.action.cost_ms + (
             0.0 if isinstance(entry.action, BlindWrite) else self.config.eval_overhead_ms
@@ -238,6 +279,12 @@ class ProtocolClient:
         self.host.execute(cost, lambda: self._process_entry(entry))
 
     def _process_entry(self, entry: OrderedAction) -> None:
+        if not self.network.is_registered(self.client_id):
+            # We crashed between the delivery and this CPU callback: the
+            # work died with the process.  Un-mark the position so a
+            # post-reconnect redelivery is not mistaken for a duplicate.
+            self._applied_positions.discard(entry.pos)
+            return
         action = entry.action
         if action.client_id == self.client_id:
             self._process_own_action(entry)
@@ -271,11 +318,30 @@ class ProtocolClient:
         evaluation, reconcile on mismatch, send completion."""
         action = entry.action
         if not self.queue or self.queue.head()[0].action_id != action.action_id:
-            raise ProtocolError(
-                f"client {self.client_id}: own action {action.action_id} "
-                f"returned out of order (queue head: "
-                f"{self.queue.head()[0].action_id if self.queue else 'empty'})"
-            )
+            if self.config.strict_stream:
+                raise ProtocolError(
+                    f"client {self.client_id}: own action {action.action_id} "
+                    f"returned out of order (queue head: "
+                    f"{self.queue.head()[0].action_id if self.queue else 'empty'})"
+                )
+            # Lossy/churny run: the echoes of older pending actions were
+            # lost (e.g. cancelled while we were crashed).  They are in
+            # the committed stream regardless, so drop their optimistic
+            # entries and resynchronise on this one (Section III-C).
+            if any(a.action_id == action.action_id for a, _ in self.queue):
+                self._fast_forward_to(action.action_id)
+            else:
+                # Echo of an action we no longer track: it is still part
+                # of the committed order, so it must reach ζ_CS.
+                self.stats.own_echoes_lost += 1
+                self._submit_times.pop(action.action_id, None)
+                self._cancel_retry(action.action_id)
+                self.stats.stable_evaluations += 1
+                result = action.apply(self.stable)
+                self._propagate_writes(result)
+                if self.config.send_completions:
+                    self._send_completion(action, result, pos=entry.pos)
+                return
         self.stats.stable_evaluations += 1
         stable_result = action.apply(self.stable)
         _, optimistic_result = self.queue.pop_head()
@@ -289,8 +355,29 @@ class ProtocolClient:
             self._send_completion(action, stable_result, pos=entry.pos)
         self.stats.confirmed += 1
         submitted_at = self._submit_times.pop(action.action_id, None)
+        self._cancel_retry(action.action_id)
         if self.on_confirmed is not None and submitted_at is not None:
             self.on_confirmed(action, self.sim.now - submitted_at)
+
+    def _fast_forward_to(self, action_id: ActionId) -> None:
+        """Drop pending own actions older than ``action_id``.
+
+        Their echoes (or their submissions) were lost in a crash window:
+        either they are already in the committed stream and we merely
+        missed the batch, or the server never saw them — in which case
+        Section III-C says "it is acceptable to assume that the action
+        was never submitted".  Either way the optimistic entry must go,
+        and ζ_CO must be reconciled without it.
+        """
+        dropped: frozenset = frozenset()
+        while self.queue and self.queue.head()[0].action_id != action_id:
+            lost, _ = self.queue.pop_head()
+            dropped = dropped | lost.writes
+            self._submit_times.pop(lost.action_id, None)
+            self._cancel_retry(lost.action_id)
+            self.stats.own_echoes_lost += 1
+        if dropped:
+            self._reconcile(extra_writes=dropped)
 
     def _send_completion(
         self, action: Action, result: ActionResult, pos: int = -1
@@ -332,6 +419,7 @@ class ProtocolClient:
     def _handle_abort(self, notice: AbortNotice) -> None:
         removed = self.queue.remove(notice.action_id)
         self._submit_times.pop(notice.action_id, None)
+        self._cancel_retry(notice.action_id)
         if removed is None:
             return  # already confirmed or never queued; nothing to undo
         self.stats.aborted += 1
@@ -341,6 +429,45 @@ class ProtocolClient:
         self.stats.reconciliations -= 1  # bookkeeping: abort, not mismatch
         if self.on_aborted is not None:
             self.on_aborted(notice.action_id)
+
+    # ------------------------------------------------------------------
+    # Reliability: resubmission and heartbeats (Section III-C)
+    # ------------------------------------------------------------------
+    def _arm_retry(self, action: Action, attempt: int) -> None:
+        policy = self.config.retry
+        if attempt >= policy.max_attempts:
+            self.stats.retries_exhausted += 1
+            return
+        delay = policy.delay(attempt, self._retry_rng)
+        self._retry_timers[action.action_id] = self.sim.schedule(
+            delay, lambda: self._retry_fire(action, attempt)
+        )
+
+    def _retry_fire(self, action: Action, attempt: int) -> None:
+        action_id = action.action_id
+        self._retry_timers.pop(action_id, None)
+        if action_id not in self._submit_times:
+            return  # confirmed or aborted while the timer ran
+        if not self.network.is_registered(self.client_id):
+            return  # we crashed; a reconnect restarts nothing old
+        self.stats.retransmissions += 1
+        message = SubmitAction(action)
+        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+        self._arm_retry(action, attempt + 1)
+
+    def _cancel_retry(self, action_id: ActionId) -> None:
+        timer = self._retry_timers.pop(action_id, None)
+        if timer is not None:
+            timer.cancel()
+
+    def send_heartbeat(self) -> None:
+        """One liveness beacon to the server (deliberately unreliable)."""
+        if not self.network.is_registered(self.client_id):
+            return
+        message = Heartbeat(self.client_id)
+        self.network.send(
+            self.client_id, SERVER_ID, message, wire_size(message), reliable=False
+        )
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -41,6 +41,13 @@ from repro.core.info_bound import InformationBound
 from repro.core.server_basic import BasicServer
 from repro.core.server_incomplete import IncompleteWorldServer, ServerCosts
 from repro.errors import ConfigurationError
+from repro.net.faults import (
+    FaultInjector,
+    FaultPlan,
+    LivenessConfig,
+    ReliabilityConfig,
+    RetryPolicy,
+)
 from repro.net.host import Host
 from repro.net.network import Network
 from repro.net.simulator import Simulator
@@ -97,6 +104,15 @@ class SeveConfig:
     #: unbounded, which the Theorem 1 consistency checks rely on; bound
     #: it for long memory-sensitive runs).
     history_limit: Optional[int] = None
+    #: Deterministic fault injection (``None`` or a null plan keeps the
+    #: network perfectly reliable and takes the identical code path).
+    fault_plan: Optional[FaultPlan] = None
+    #: ARQ transport restoring reliable FIFO delivery over a lossy plan.
+    reliability: Optional[ReliabilityConfig] = None
+    #: End-to-end client resubmission of unanswered actions.
+    retry: Optional[RetryPolicy] = None
+    #: Server-side heartbeat eviction (Section III-C).
+    liveness: Optional[LivenessConfig] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -121,12 +137,21 @@ class SeveEngine:
         self.world = world
         self.config = config or SeveConfig()
         self.sim = Simulator()
+        plan = self.config.fault_plan
+        self.faults = (
+            FaultInjector(plan) if plan is not None and not plan.is_null else None
+        )
         self.network = Network(
             self.sim,
             rtt_ms=self.config.rtt_ms,
             bandwidth_bps=self.config.bandwidth_bps,
+            faults=self.faults,
+            reliability=self.config.reliability,
         )
         self.server_host = Host(self.sim, SERVER_ID)
+        #: Clients currently presumed crashed (driven by the harness).
+        self.dead: set[ClientId] = set()
+        self._heartbeat_stoppers: Dict[ClientId, Callable[[], None]] = {}
         self.response_times = LatencySampler()
         #: Actions dropped by the Information Bound Model, per client.
         self.dropped: Dict[ClientId, List[ActionId]] = {}
@@ -155,6 +180,7 @@ class SeveEngine:
                 self.server_host,
                 eager=True,
                 timestamp_cost_ms=config.costs.timestamp_ms,
+                liveness=config.liveness,
             )
             self.predicate = None
             self.info_bound = None
@@ -186,16 +212,19 @@ class SeveEngine:
             avatar_of=self.world.avatar_of,
             use_spatial_index=config.use_distribution_indexes,
             use_writer_index=config.use_distribution_indexes,
+            liveness=config.liveness,
         )
         if config.mode == "hybrid":
             from repro.core.hybrid import HybridRelayServer
 
+            plan = config.fault_plan
             self.server = HybridRelayServer(
                 self.sim,
                 self.network,
                 self.server_host,
                 self.state,
                 group_size=config.hybrid_group_size,
+                bundling=not (plan is not None and plan.crashes),
                 **server_kwargs,
             )
         else:
@@ -223,11 +252,15 @@ class SeveEngine:
     ) -> None:
         host = Host(self.sim, client_id)
         incomplete = self.config.mode != "basic"
+        plan = self.config.fault_plan
         client_config = ClientConfig(
             send_completions=incomplete,
             report_all_completions=incomplete and self.config.fault_tolerant,
             eval_overhead_ms=self.config.eval_overhead_ms,
             interests=interests,
+            strict_stream=self.faults is None,
+            retry=self.config.retry,
+            retry_seed=plan.seed if plan is not None else 0,
         )
         # Basic-mode clients replicate the full initial state; incomplete
         # clients start from what they can see — their own avatar — and
@@ -285,9 +318,76 @@ class SeveEngine:
     # Driving
     # ------------------------------------------------------------------
     def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
-        """Install the server's periodic processes (no-op for basic)."""
-        if isinstance(self.server, IncompleteWorldServer):
+        """Install the server's periodic processes (liveness sweeps for
+        basic mode; validation/push/liveness for the others) and, when
+        liveness is configured, per-client heartbeats."""
+        if isinstance(self.server, (BasicServer, IncompleteWorldServer)):
             self.server.start(stop_at=stop_at)
+        if self.config.liveness is not None:
+            for client_id in self.clients:
+                self._install_heartbeat(client_id, stop_at=stop_at)
+
+    def _install_heartbeat(
+        self, client_id: ClientId, *, stop_at: Optional[TimeMs] = None
+    ) -> None:
+        client = self.clients[client_id]
+
+        def beat() -> None:
+            if client_id not in self.dead:
+                client.send_heartbeat()
+
+        self._heartbeat_stoppers[client_id] = self.sim.call_every(
+            self.config.liveness.heartbeat_interval_ms, beat, stop_at=stop_at
+        )
+
+    def mark_dead(self, client_id: ClientId) -> None:
+        """The harness crashed this client: stop its heartbeat and
+        exclude it from quiescence checks."""
+        self.dead.add(client_id)
+        stopper = self._heartbeat_stoppers.pop(client_id, None)
+        if stopper is not None:
+            stopper()
+
+    def mark_alive(self, client_id: ClientId) -> None:
+        """The harness reconnected this client.
+
+        The server's delivery bookkeeping for the client is stale either
+        way: if the liveness sweep already evicted it, it is detached;
+        if it reconnected *before* the sweep fired, everything pushed
+        into the crash window was dropped on the wire while the server
+        recorded it as held (sent(a) marks, known-values entries).  So
+        always resync — detach if still attached, then re-attach from
+        scratch; closures rebuild the replica exactly as for an evicted
+        rejoiner, and the client's position dedup absorbs redeliveries.
+        """
+        self.dead.discard(client_id)
+        if self.config.liveness is not None:
+            self._install_heartbeat(client_id)
+        if not isinstance(self.server, BasicServer):
+            if client_id in self.server.clients:
+                self.server.detach_client(client_id)
+            self.server.attach_client(
+                client_id,
+                radius=self.world.client_radius(client_id),
+                interests=self.clients[client_id].config.interests,
+            )
+        else:
+            if client_id in self.server.pos:
+                self.server.detach_client(client_id)
+            self.server.attach_client(client_id)
+
+    def live_client_ids(self) -> list[ClientId]:
+        """Clients that are neither crashed nor evicted by the server —
+        the population over which end-of-run consistency is asserted."""
+        if isinstance(self.server, BasicServer):
+            tracked = self.server.pos
+        else:
+            tracked = self.server.clients
+        return [
+            client_id
+            for client_id in self.clients
+            if client_id not in self.dead and client_id in tracked
+        ]
 
     def client(self, client_id: ClientId) -> ProtocolClient:
         """The protocol client for ``client_id``."""
@@ -321,13 +421,30 @@ class SeveEngine:
                 break
             if self._quiescent():
                 break
-        if isinstance(self.server, IncompleteWorldServer):
+        if isinstance(self.server, (BasicServer, IncompleteWorldServer)):
             self.server.stop()
+        for stopper in list(self._heartbeat_stoppers.values()):
+            stopper()
+        self._heartbeat_stoppers.clear()
         self.sim.run(until=min(self.sim.now + 1.0, deadline))
 
     def _quiescent(self) -> bool:
-        if any(client.pending_count for client in self.clients.values()):
+        if any(
+            client.pending_count
+            for client_id, client in self.clients.items()
+            if client_id not in self.dead
+        ):
             return False
+        if self.config.liveness is not None:
+            # A crashed client still attached keeps the run live until
+            # the server's sweep presumes it dead (Section III-C).
+            tracked = (
+                self.server.pos
+                if isinstance(self.server, BasicServer)
+                else self.server.clients
+            )
+            if any(client_id in tracked for client_id in self.dead):
+                return False
         if isinstance(self.server, IncompleteWorldServer):
             return self.server.uncommitted_count == 0
         return True

@@ -48,11 +48,20 @@ class HybridStats:
 class HybridRelayServer(IncompleteWorldServer):
     """Incomplete World server with peer-relayed, deduplicated fan-out."""
 
-    def __init__(self, *args, group_size: int = 4, **kwargs) -> None:
+    def __init__(
+        self, *args, group_size: int = 4, bundling: bool = True, **kwargs
+    ) -> None:
         if group_size < 1:
             raise ConfigurationError(f"group_size must be >= 1, got {group_size}")
         super().__init__(*args, **kwargs)
         self.group_size = group_size
+        #: Relay bundling assumes heads do not fail with a bundle in
+        #: flight — the server marks entries sent to every member when
+        #: the bundle leaves, so a head crash silently strands the other
+        #: members' data.  Under fault plans with crash windows the
+        #: engine turns bundling off and the hybrid degrades to direct
+        #: per-client delivery (see docs/fault_model.md).
+        self.bundling = bundling
         self.hybrid_stats = HybridStats()
         #: Clients ordered for grouping.  Starts as attach order and is
         #: re-sorted spatially at the first distribution: batch overlap
@@ -102,7 +111,7 @@ class HybridRelayServer(IncompleteWorldServer):
         return [
             candidate
             for candidate in self._attach_order[start : start + self.group_size]
-            if candidate in self.clients
+            if candidate in self.clients and self.network.is_registered(candidate)
         ]
 
     def relay_head_for(self, client_id: ClientId) -> Optional[ClientId]:
@@ -117,6 +126,9 @@ class HybridRelayServer(IncompleteWorldServer):
     def _distribute_batches(
         self, batches: List[Tuple[ClientId, List[OrderedAction]]]
     ) -> None:
+        if not self.bundling:
+            super()._distribute_batches(batches)
+            return
         by_head: Dict[ClientId, List[Tuple[ClientId, List[OrderedAction]]]] = {}
         for client_id, batch_entries in batches:
             if not batch_entries:

@@ -116,6 +116,17 @@ class GroupBundle:
 
 
 @dataclass(frozen=True)
+class Heartbeat:
+    """Client -> server: liveness beacon (Section III-C).
+
+    Heartbeats are sent unreliably on purpose — a heartbeat that the
+    lossy network ate carries exactly the information the server needs
+    (nothing arrived)."""
+
+    sender: ClientId = -2
+
+
+@dataclass(frozen=True)
 class RelayedAction:
     """Server -> client (Broadcast/RING baselines): a raw forwarded
     action for local evaluation."""
@@ -141,6 +152,8 @@ def wire_size(message: object) -> int:
         return 32 + _result_size(message.result)
     if isinstance(message, AbortNotice):
         return 24
+    if isinstance(message, Heartbeat):
+        return 8
     if isinstance(message, StateUpdate):
         return 24 + sum(8 + 12 * len(attrs) for _, attrs in message.values)
     if isinstance(message, RelayedAction):

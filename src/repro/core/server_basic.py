@@ -13,20 +13,32 @@ but unscalable, Section III-A).
 clients immediately instead of waiting for their next submission.  That
 variant is the paper's Broadcast comparison point (NPSNET/SIMNET-style
 full fan-out) and is what the Figure 6/7/9 "Broadcast" series runs.
+
+Fault tolerance (Section III-C): resubmissions of an already-serialized
+action are absorbed idempotently by ``ActionId``, and an optional
+:class:`~repro.net.faults.LivenessConfig` makes the server track when it
+last heard from each client and evict the silent ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Set
 
-from repro.core.action import Action
-from repro.core.messages import ActionBatch, OrderedAction, SubmitAction, wire_size
+from repro.core.action import Action, ActionId
+from repro.core.messages import (
+    ActionBatch,
+    Heartbeat,
+    OrderedAction,
+    SubmitAction,
+    wire_size,
+)
 from repro.errors import ProtocolError
+from repro.net.faults import LivenessConfig
 from repro.net.host import Host
 from repro.net.network import Network
 from repro.net.simulator import Simulator
-from repro.types import SERVER_ID, ClientId
+from repro.types import SERVER_ID, ClientId, TimeMs
 
 
 @dataclass
@@ -36,6 +48,10 @@ class BasicServerStats:
     actions_serialized: int = 0
     batches_sent: int = 0
     actions_delivered: int = 0  # sum over batches of entries sent
+    #: Resubmissions absorbed by the ActionId dedup filter.
+    duplicate_submissions: int = 0
+    #: Clients evicted by the liveness timeout.
+    clients_evicted: int = 0
 
 
 class BasicServer:
@@ -54,18 +70,27 @@ class BasicServer:
         *,
         eager: bool = False,
         timestamp_cost_ms: float = 0.0,
+        liveness: Optional[LivenessConfig] = None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.host = host
         self.eager = eager
         self.timestamp_cost_ms = timestamp_cost_ms
+        self.liveness = liveness
         #: The global action queue; index == order number pos(a).
         self.queue: List[Action] = []
         #: pos_C per client: index of the last action sent to C
         #: (-1 before anything was sent).
         self.pos: Dict[ClientId, int] = {}
         self.stats = BasicServerStats()
+        #: ActionIds already serialized (idempotent resubmission).
+        self._seen_actions: Set[ActionId] = set()
+        #: Clients that attached once but detached/evicted since; their
+        #: in-flight submissions are dropped rather than flagged.
+        self._detached: Set[ClientId] = set()
+        self._last_heard: Dict[ClientId, TimeMs] = {}
+        self._stop_liveness: Optional[Callable[[], None]] = None
         network.register(SERVER_ID, self._on_message)
 
     def attach_client(self, client_id: ClientId) -> None:
@@ -73,18 +98,69 @@ class BasicServer:
         if client_id in self.pos:
             raise ProtocolError(f"client {client_id} already attached")
         self.pos[client_id] = -1
+        self._detached.discard(client_id)
+        self._last_heard[client_id] = self.sim.now
 
     def detach_client(self, client_id: ClientId) -> None:
         """Stop tracking a client (failure/disconnect)."""
         self.pos.pop(client_id, None)
+        self._last_heard.pop(client_id, None)
+        self._detached.add(client_id)
+
+    # ------------------------------------------------------------------
+    # Liveness (Section III-C)
+    # ------------------------------------------------------------------
+    def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
+        """Install the periodic liveness sweep (no-op without a
+        :class:`LivenessConfig` — the reliable-network configuration)."""
+        if self.liveness is None or self._stop_liveness is not None:
+            return
+        self._stop_liveness = self.sim.call_every(
+            self.liveness.effective_check_interval_ms,
+            self._liveness_tick,
+            stop_at=stop_at,
+        )
+
+    def stop(self) -> None:
+        """Tear down the periodic liveness sweep."""
+        if self._stop_liveness is not None:
+            self._stop_liveness()
+            self._stop_liveness = None
+
+    def _note_alive(self, client_id: ClientId) -> None:
+        if client_id in self.pos:
+            self._last_heard[client_id] = self.sim.now
+
+    def _liveness_tick(self) -> None:
+        deadline = self.sim.now - self.liveness.timeout_ms
+        for client_id in [
+            cid for cid, heard in self._last_heard.items() if heard < deadline
+        ]:
+            self.evict_client(client_id)
+
+    def evict_client(self, client_id: ClientId) -> None:
+        """Presume ``client_id`` dead and stop tracking it."""
+        if client_id not in self.pos:
+            return
+        self.detach_client(client_id)
+        self.network.reset_channels(client_id)
+        self.stats.clients_evicted += 1
 
     # ------------------------------------------------------------------
     def _on_message(self, src: ClientId, payload: object) -> None:
+        if isinstance(payload, Heartbeat):
+            self._note_alive(src)
+            return
         if not isinstance(payload, SubmitAction):
             raise ProtocolError(
                 f"basic server: unexpected message {type(payload).__name__}"
             )
+        self._note_alive(src)
         action = payload.action
+        if action.action_id in self._seen_actions:
+            self.stats.duplicate_submissions += 1
+            return
+        self._seen_actions.add(action.action_id)
 
         def serialize() -> None:
             self._serialize_and_reply(src, action)
@@ -93,6 +169,8 @@ class BasicServer:
 
     def _serialize_and_reply(self, src: ClientId, action: Action) -> None:
         if src not in self.pos:
+            if src in self._detached:
+                return  # evicted/disconnected mid-flight: drop quietly
             raise ProtocolError(f"submission from unattached client {src}")
         position = len(self.queue)
         self.queue.append(action)

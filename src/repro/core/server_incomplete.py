@@ -24,9 +24,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.action import Action, BlindWrite
+from repro.core.action import Action, ActionId, BlindWrite
 from repro.core.closure import KnownValuesTracker, QueueEntry, transitive_closure
 from repro.core.first_bound import FirstBoundPredicate
 from repro.core.indexes import ClientSpatialIndex, WriterIndex
@@ -36,11 +36,13 @@ from repro.core.messages import (
     AbortNotice,
     ActionBatch,
     Completion,
+    Heartbeat,
     OrderedAction,
     SubmitAction,
     wire_size,
 )
 from repro.errors import ConfigurationError, ProtocolError
+from repro.net.faults import LivenessConfig
 from repro.net.host import Host
 from repro.net.network import Network
 from repro.net.simulator import Simulator
@@ -76,6 +78,11 @@ class ClientRecord:
     interests: Optional[frozenset[str]] = None
     #: Queue position up to which push candidates have been considered.
     scanned_pos: int = -1
+    #: Highest queue position ever delivered to this client.  Algorithm 6
+    #: subtracts the writes of already-sent entries assuming the client
+    #: applies entries in pos order; a closure chain that would pull an
+    #: entry *below* this mark breaks that assumption and is deferred.
+    high_water: int = -1
     #: Virtual time the client's committed position last changed
     #: (t_C for the Section IV-B velocity-culled predicate).
     position_time: TimeMs = 0.0
@@ -94,6 +101,14 @@ class IncompleteServerStats:
     blind_objects_sent: int = 0
     batches_sent: int = 0
     push_cycles: int = 0
+    #: Resubmissions absorbed by the ActionId dedup filter.
+    duplicate_submissions: int = 0
+    #: Clients evicted by the liveness timeout (Section III-C).
+    clients_evicted: int = 0
+    #: Entries aborted because every client holding them failed.
+    orphans_aborted: int = 0
+    #: Closures deferred to preserve per-client pos-ascending delivery.
+    closures_deferred: int = 0
 
 
 class IncompleteWorldServer:
@@ -138,6 +153,7 @@ class IncompleteWorldServer:
         avatar_of: Optional[Callable[[ClientId], ObjectId]] = None,
         use_spatial_index: bool = True,
         use_writer_index: bool = True,
+        liveness: Optional[LivenessConfig] = None,
     ) -> None:
         if info_bound is not None and predicate is None:
             raise ConfigurationError(
@@ -155,8 +171,14 @@ class IncompleteWorldServer:
         self.tick_ms = tick_ms
         self.costs = costs or ServerCosts()
         self.avatar_of = avatar_of
+        self.liveness = liveness
         self.known = KnownValuesTracker()
         self.stats = IncompleteServerStats()
+        #: ActionIds already serialized (idempotent resubmission; grows
+        #: with the run — acceptable for simulation-length histories,
+        #: see docs/fault_model.md for the memory tradeoff).
+        self._seen_actions: Set[ActionId] = set()
+        self._last_heard: Dict[ClientId, TimeMs] = {}
         #: Optional hook fired after each commit with
         #: ``(pos, client_id, values)`` — the audit log attaches here.
         self.on_commit: Optional[
@@ -178,6 +200,9 @@ class IncompleteWorldServer:
             else None
         )
         self._avatar_owner: Dict[ObjectId, ClientId] = {}
+        #: Reactive replies deferred by the in-order delivery guard,
+        #: per client; retried whenever the commit frontier advances.
+        self._deferred_replies: Dict[ClientId, List[int]] = {}
         network.register(SERVER_ID, self._on_message)
 
     # ------------------------------------------------------------------
@@ -199,6 +224,7 @@ class IncompleteWorldServer:
             interests=interests,
             scanned_pos=self._next_pos - 1,
         )
+        self._last_heard[client_id] = self.sim.now
         if self._client_index is not None:
             avatar_oid = self.avatar_of(client_id) if self.avatar_of else None
             if avatar_oid is not None:
@@ -209,7 +235,17 @@ class IncompleteWorldServer:
     def detach_client(self, client_id: ClientId) -> None:
         """Unregister a failed/departed client."""
         self.clients.pop(client_id, None)
+        self._last_heard.pop(client_id, None)
+        self._deferred_replies.pop(client_id, None)
         self.known.forget_client(client_id)
+        # A departed client holds nothing: scrub it from sent(a) so a
+        # later re-attach rebuilds full closures (entries "sent" into a
+        # crash window were dropped on the floor, and treating them as
+        # delivered would seed the rejoiner with stale values).  The
+        # orphan-abort holder sets are unchanged by this: a holder
+        # absent from ``clients`` and a scrubbed holder decide alike.
+        for entry in self._entries:
+            entry.sent.discard(client_id)
         if self._client_index is not None:
             self._client_index.remove(client_id)
             avatar_oid = self.avatar_of(client_id) if self.avatar_of else None
@@ -228,6 +264,14 @@ class IncompleteWorldServer:
                     self.predicate.push_interval_ms, self._push_cycle, stop_at=stop_at
                 )
             )
+        if self.liveness is not None:
+            self._stoppers.append(
+                self.sim.call_every(
+                    self.liveness.effective_check_interval_ms,
+                    self._liveness_tick,
+                    stop_at=stop_at,
+                )
+            )
 
     def stop(self) -> None:
         """Tear down the periodic processes."""
@@ -239,8 +283,16 @@ class IncompleteWorldServer:
     # Message handling
     # ------------------------------------------------------------------
     def _on_message(self, src: ClientId, payload: object) -> None:
+        if src in self._last_heard:
+            self._last_heard[src] = self.sim.now
+        if isinstance(payload, Heartbeat):
+            return
         if isinstance(payload, SubmitAction):
             action = payload.action
+            if action.action_id in self._seen_actions:
+                self.stats.duplicate_submissions += 1
+                return
+            self._seen_actions.add(action.action_id)
             cost = self.costs.timestamp_ms
             if self.predicate is None:
                 cost += self.costs.closure_ms
@@ -273,16 +325,33 @@ class IncompleteWorldServer:
     # ------------------------------------------------------------------
     def _reply(self, client_id: ClientId, entry: QueueEntry) -> None:
         """Algorithm 5 step 3(b): answer a submission with its closure."""
+        if not self.network.is_registered(client_id):
+            return  # connection dropped since the submission arrived
         batch_entries, _ = self._closure_entries(client_id, entry)
+        if batch_entries is None:
+            self._deferred_replies.setdefault(client_id, []).append(entry.pos)
+            return
         self._send_batch(client_id, batch_entries)
 
     def _closure_entries(
         self, client_id: ClientId, entry: QueueEntry
-    ) -> Tuple[List[OrderedAction], float]:
+    ) -> Tuple[Optional[List[OrderedAction]], float]:
         """Compute Algorithm 6's reply A for ``entry`` -> ``client_id``.
 
         Returns the ordered wire entries (blind-write prefix included)
         and the simulated CPU cost of computing them.
+
+        Returns ``(None, cost)`` — the in-order delivery guard — when
+        the closure chain would pull an entry older than something the
+        client already holds.  Algorithm 6's sent(a) subtraction assumes
+        each client applies entries in pos order; delivering a skipped
+        entry late (because a fault-delayed commit kept it in the queue
+        long enough for a later chain to re-pull it) would make the
+        client evaluate it against *future* values of its read set and
+        diverge.  A deferral always waits on strictly older entries, so
+        it unwinds as the commit frontier advances: once the blockers
+        commit they leave the queue and the blind-write seed covers them
+        at their committed versions.
         """
         index = entry.pos - self._base_pos
         chain, seed = transitive_closure(
@@ -294,6 +363,16 @@ class IncompleteWorldServer:
         )
         self.stats.closures_computed += 1
         cost = self.costs.closure_ms
+        record = self.clients.get(client_id)
+        if record is not None:
+            if chain and self._entries[chain[0]].pos < record.high_water:
+                # transitive_closure marked the chain sent in place;
+                # undo that so a later retry rebuilds it from scratch.
+                for chain_index in chain:
+                    self._entries[chain_index].sent.discard(client_id)
+                self.stats.closures_deferred += 1
+                return None, cost
+            record.high_water = max(record.high_water, entry.pos)
         batch_entries: List[OrderedAction] = []
         seed_needed = self.known.filter_seed(client_id, seed)
         if seed_needed:
@@ -369,6 +448,12 @@ class IncompleteWorldServer:
         batches: List[Tuple[ClientId, List[OrderedAction]]] = []
         total_cost = 0.0
         for record in self.clients.values():
+            # A parked handler is a broken connection: building a batch
+            # would mark entries sent (and known values held) that can
+            # never arrive — poisoning every closure after a reconnect.
+            # The reconnect resync re-attaches from scratch instead.
+            if not self.network.is_registered(record.client_id):
+                continue
             if candidates is None:
                 batch_entries, cost = self._collect_push(record)
             else:
@@ -483,6 +568,7 @@ class IncompleteWorldServer:
                 for pos in candidate_positions
                 if pos >= start
             ]
+        deferred_pos: Optional[int] = None
         for entry in entries:
             if entry.valid is False or record.client_id in entry.sent:
                 continue
@@ -491,9 +577,18 @@ class IncompleteWorldServer:
             closure_entries, closure_cost = self._closure_entries(
                 record.client_id, entry
             )
-            batch_entries.extend(closure_entries)
             cost += closure_cost
-        record.scanned_pos = max(record.scanned_pos, self._validated_upto)
+            if closure_entries is None:
+                # In-order delivery guard: stop here so nothing newer
+                # overtakes this candidate; the clamped scanned_pos
+                # makes the next push cycle rescan it.
+                deferred_pos = entry.pos
+                break
+            batch_entries.extend(closure_entries)
+        if deferred_pos is not None:
+            record.scanned_pos = max(record.scanned_pos, deferred_pos - 1)
+        else:
+            record.scanned_pos = max(record.scanned_pos, self._validated_upto)
         return batch_entries, cost
 
     def _wants(
@@ -570,6 +665,40 @@ class IncompleteWorldServer:
             self._note_position_change(entry)
             if self.on_commit is not None:
                 self.on_commit(entry.pos, entry.action.client_id, values)
+        if self._deferred_replies:
+            self._retry_deferred_replies()
+
+    def _retry_deferred_replies(self) -> None:
+        """Re-attempt reactive replies parked by the in-order guard.
+
+        Runs whenever the commit frontier advances.  The blockers are
+        strictly older than the deferred entry, so by the time the
+        frontier reaches it everything below has left the queue, the
+        chain is the entry alone, and the retry must succeed — a
+        deferred reply is delayed, never lost.
+        """
+        for client_id in list(self._deferred_replies):
+            if client_id not in self.clients:
+                del self._deferred_replies[client_id]
+                continue
+            if not self.network.is_registered(client_id):
+                continue  # keep parked; resync or eviction will clear it
+            still: List[int] = []
+            for pos in self._deferred_replies[client_id]:
+                if pos < self._base_pos:
+                    continue  # committed meanwhile (fault-tolerant reporters)
+                entry = self._entries[pos - self._base_pos]
+                if entry.valid is False or client_id in entry.sent:
+                    continue
+                batch_entries, _ = self._closure_entries(client_id, entry)
+                if batch_entries is None:
+                    still.append(pos)
+                else:
+                    self._send_batch(client_id, batch_entries)
+            if still:
+                self._deferred_replies[client_id] = still
+            else:
+                del self._deferred_replies[client_id]
 
     def _refresh_indexed_positions(self, values: Dict[ObjectId, dict]) -> None:
         """Mirror a commit's avatar writes into the spatial client index
@@ -589,6 +718,57 @@ class IncompleteWorldServer:
             avatar_oid = self.avatar_of(record.client_id)
             if avatar_oid is not None and avatar_oid in entry.action.writes:
                 record.position_time = self.sim.now
+
+    # ------------------------------------------------------------------
+    # Liveness and fault tolerance (Section III-C)
+    # ------------------------------------------------------------------
+    def _liveness_tick(self) -> None:
+        assert self.liveness is not None
+        deadline = self.sim.now - self.liveness.timeout_ms
+        for client_id in [
+            cid for cid, heard in self._last_heard.items() if heard < deadline
+        ]:
+            self.evict_client(client_id)
+        if self.stats.clients_evicted:
+            # Entries can become orphaned after the eviction that killed
+            # their last holder (e.g. they were admitted while the death
+            # was undetected), so re-sweep every tick once anyone died.
+            self._abort_orphans()
+
+    def evict_client(self, client_id: ClientId) -> None:
+        """Presume ``client_id`` dead (Section III-C): stop tracking and
+        distributing to it, GC its index entries, and abort any queue
+        entries only it was evaluating."""
+        if client_id not in self.clients:
+            return
+        self.detach_client(client_id)
+        self.network.reset_channels(client_id)
+        self.stats.clients_evicted += 1
+        self._abort_orphans()
+
+    def _abort_orphans(self) -> None:
+        """Apply the Section III-C rule: an uncommitted action may be
+        treated as never submitted **only** when every client that could
+        report its stable result — everyone it was sent to, plus its
+        originator — is presumed dead.  (If any holder is alive it may
+        already have applied the action to its stable replica, so
+        aborting would diverge.)"""
+        aborted = False
+        for entry in self._entries:
+            if entry.completion is not None or entry.valid is not True:
+                # Committed-ready, already dropped, or still awaiting
+                # Information Bound validation (a later sweep gets it —
+                # flipping ``valid`` under the validator would race it).
+                continue
+            holders = set(entry.sent) | {entry.action.client_id}
+            if any(holder in self.clients for holder in holders):
+                continue
+            entry.valid = False
+            self.stats.orphans_aborted += 1
+            self.stats.actions_dropped += 1
+            aborted = True
+        if aborted:
+            self._advance_frontier()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -52,6 +52,7 @@ from repro.baselines.zoned import ZonedCentralEngine
 from repro.core.engine import SeveConfig, SeveEngine
 from repro.errors import ConfigurationError
 from repro.harness.config import SimulationSettings
+from repro.net.faults import LivenessConfig, ReliabilityConfig, RetryPolicy
 from repro.world.manhattan import ManhattanWorld
 
 Engine = Union[SeveEngine, BaselineEngine]
@@ -85,6 +86,24 @@ def build_world(settings: SimulationSettings) -> ManhattanWorld:
     return ManhattanWorld(settings.num_clients, settings.manhattan_config())
 
 
+def _reliability_suite(settings: SimulationSettings):
+    """The (reliability, retry, liveness) trio a fault plan demands.
+
+    A ``None`` or null plan returns all-``None`` — the engines then take
+    the identical code path they take with no plan at all (the
+    differential-test contract).  A lossy/jittery plan enables the ARQ
+    transport and client retries; scheduled crashes additionally enable
+    heartbeat liveness.
+    """
+    plan = settings.fault_plan
+    if plan is None or plan.is_null:
+        return None, None, None
+    reliability = ReliabilityConfig.for_rtt(settings.rtt_ms)
+    retry = RetryPolicy.for_rtt(settings.rtt_ms)
+    liveness = LivenessConfig() if plan.crashes else None
+    return reliability, retry, liveness
+
+
 def build_engine(
     architecture: str,
     settings: SimulationSettings,
@@ -97,6 +116,7 @@ def build_engine(
     """
     if world is None:
         world = build_world(settings)
+    reliability, retry, liveness = _reliability_suite(settings)
     if architecture in _SEVE_MODES:
         config = SeveConfig(
             mode=_SEVE_MODES[architecture],
@@ -108,14 +128,25 @@ def build_engine(
             info_bound_policy=settings.info_bound_policy,
             max_delay_ticks=settings.max_delay_ticks,
             use_velocity_culling=settings.use_velocity_culling,
-            fault_tolerant=settings.fault_tolerant,
+            # Crash plans force fault-tolerant completions: the server
+            # must be able to commit actions whose originator died.
+            fault_tolerant=settings.fault_tolerant
+            or bool(settings.fault_plan and settings.fault_plan.crashes),
             eval_overhead_ms=settings.eval_overhead_ms,
+            fault_plan=settings.fault_plan,
+            reliability=reliability,
+            retry=retry,
+            liveness=liveness,
         )
         return SeveEngine(world, settings.num_clients, config)
     baseline_config = BaselineConfig(
         rtt_ms=settings.rtt_ms,
         bandwidth_bps=settings.bandwidth_bps,
         eval_overhead_ms=settings.eval_overhead_ms,
+        fault_plan=settings.fault_plan,
+        reliability=reliability,
+        retry=retry,
+        liveness=liveness,
     )
     if architecture == "central":
         return CentralEngine(

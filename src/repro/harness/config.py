@@ -24,6 +24,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.net.faults import FaultPlan
 from repro.world.manhattan import ManhattanConfig
 
 #: The paper's measured average evaluation time per move at 100k walls.
@@ -85,6 +86,14 @@ class SimulationSettings:
     max_delay_ticks: int = 3
     use_velocity_culling: bool = False
     fault_tolerant: bool = False
+
+    # -- faults (docs/fault_model.md) --------------------------------------
+    #: Deterministic fault injection; ``None`` (or a null plan) keeps the
+    #: network perfectly reliable and takes the identical code path.
+    #: A non-null plan automatically enables the ARQ transport, client
+    #: retries, and — when the plan schedules crashes — liveness
+    #: eviction and fault-tolerant completions.
+    fault_plan: Optional[FaultPlan] = None
 
     # -- run ------------------------------------------------------------------
     seed: int = 0

@@ -68,6 +68,15 @@ class RunResult:
     #: closures (0 for architectures without closures) — the Figure 10
     #: "runtime overhead of our strongly consistent approach".
     closure_cpu_ms: float = 0.0
+    # -- fault injection (docs/fault_model.md); all zero without a plan --
+    #: Messages the fault plan dropped on the wire.
+    messages_dropped: int = 0
+    #: Extra deliveries the fault plan duplicated.
+    messages_duplicated: int = 0
+    #: ARQ data-packet retransmissions.
+    retransmissions: int = 0
+    #: Clients the server's liveness sweep presumed dead (Section III-C).
+    clients_evicted: int = 0
 
     @property
     def closure_overhead_percent(self) -> float:
@@ -95,18 +104,33 @@ def run_simulation(
         world = build_world(settings)
     engine = build_engine(architecture, settings, world)
     workload = MoveWorkload(engine, world, settings)
-    engine.start()
+
+    plan = settings.fault_plan
+    faults_active = plan is not None and not plan.is_null
+    submit_horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
+    if faults_active:
+        # Periodic fault machinery (heartbeats, liveness sweeps) must
+        # stop eventually or the simulator never drains; give it a
+        # grace window past the workload for retries to settle.
+        engine.start(stop_at=submit_horizon + 15_000.0)
+        _schedule_crashes(engine, workload, plan)
+    else:
+        engine.start()
     workload.install()
 
-    submit_horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
     engine.run(until=submit_horizon)
     engine.run_to_quiescence(max_extra_ms=settings.drain_ms)
 
     consistency = None
     if check_consistency:
+        # Crashed/evicted clients are excluded: the paper's guarantee
+        # (Section III-C) covers the surviving replicas only.
+        client_ids = (
+            engine.live_client_ids() if faults_active else engine.clients.keys()
+        )
         replicas = {
-            client_id: _stable_replica(client)
-            for client_id, client in engine.clients.items()
+            client_id: _stable_replica(engine.clients[client_id])
+            for client_id in client_ids
         }
         if architecture in ("seve-basic", "broadcast"):
             # Full-replication architectures have no advancing server
@@ -141,6 +165,10 @@ def run_simulation(
         server.stats, "closures_computed"
     ):
         closure_cpu = server.stats.closures_computed * server.costs.closure_ms
+    server_stats = getattr(server, "stats", None)
+    clients_evicted = getattr(server_stats, "clients_evicted", 0) or getattr(
+        engine, "liveness_evictions", 0
+    )
     return RunResult(
         architecture=architecture,
         settings=settings,
@@ -159,7 +187,31 @@ def run_simulation(
         responses_observed=engine.response_times.summary().count,
         total_cpu_ms=total_cpu,
         closure_cpu_ms=closure_cpu,
+        messages_dropped=meter.messages_dropped,
+        messages_duplicated=meter.messages_duplicated,
+        retransmissions=meter.retransmissions,
+        clients_evicted=clients_evicted,
     )
+
+
+def _schedule_crashes(engine, workload: MoveWorkload, plan) -> None:
+    """Install the plan's crash/reconnect windows on the virtual clock."""
+    for window in plan.crashes:
+
+        def kill(cid=window.client_id) -> None:
+            workload.stop_client(cid)
+            engine.network.crash(cid)
+            engine.mark_dead(cid)
+
+        engine.sim.schedule_at(window.at_ms, kill)
+        if window.reconnect_at_ms is not None:
+
+            def revive(cid=window.client_id) -> None:
+                engine.network.reconnect(cid)
+                engine.mark_alive(cid)
+                workload.resume_client(cid)
+
+            engine.sim.schedule_at(window.reconnect_at_ms, revive)
 
 
 def _stable_replica(client):

@@ -55,6 +55,8 @@ class MoveWorkload:
         self._remaining: Dict[ClientId, int] = {}
         self._next_seq: Dict[ClientId, int] = {}
         self._stoppers: Dict[ClientId, object] = {}
+        #: Move quota parked by stop_client, restored by resume_client.
+        self._halted: Dict[ClientId, int] = {}
 
     def install(self) -> None:
         """Schedule every client's periodic move generation."""
@@ -80,7 +82,29 @@ class MoveWorkload:
         stopper = self._stoppers.pop(client_id, None)
         if stopper is not None:
             stopper()
+        self._halted[client_id] = self._remaining.get(client_id, 0)
         self._remaining[client_id] = 0
+
+    def resume_client(self, client_id: ClientId) -> None:
+        """Resume a stopped client's generation (reconnect after crash).
+
+        The client picks up its parked move quota; the generator gets a
+        fresh stop horizon sized to that quota so it cannot outlive its
+        own moves and stall the drain.
+        """
+        if client_id in self._stoppers:
+            return  # never stopped (or already resumed)
+        remaining = self._halted.pop(client_id, 0)
+        if remaining <= 0:
+            return
+        self._remaining[client_id] = remaining
+        interval = self.settings.move_interval_ms
+        self._stoppers[client_id] = self.engine.sim.call_every(
+            interval,
+            self._make_submitter(client_id),
+            start_delay=self._rng.uniform(0.0, interval),
+            stop_at=self.engine.sim.now + interval * (remaining + 2),
+        )
 
     def _make_submitter(self, client_id: ClientId):
         def submit() -> None:

@@ -78,6 +78,20 @@ def format_table(table: Table) -> str:
     return "\n".join(lines)
 
 
+def fault_rows(result) -> List[List[Cell]]:
+    """Fault-injection counter rows for a :class:`RunResult`.
+
+    Returned as ``(metric, value)`` pairs ready for ``Table.add_row`` —
+    the CLI appends them to its report when a fault plan was active.
+    """
+    return [
+        ["messages dropped", result.messages_dropped],
+        ["messages duplicated", result.messages_duplicated],
+        ["retransmissions", result.retransmissions],
+        ["clients evicted", result.clients_evicted],
+    ]
+
+
 def series_table(
     title: str,
     x_name: str,

@@ -1,0 +1,376 @@
+"""Deterministic fault injection for the net stack.
+
+The paper's fault-tolerance discussion (Section III-C) assumes a network
+that loses, delays, and duplicates messages and clients that crash
+mid-run.  This module supplies the *plan* for such a run: a seeded,
+serializable :class:`FaultPlan` that :class:`~repro.net.network.Network`
+consults once per message.  All randomness flows through one dedicated
+``random.Random(seed)`` owned by the :class:`FaultInjector`, so a given
+(workload seed, fault seed) pair replays byte-identically — the property
+the replay tests in ``tests/test_fault_properties.py`` assert.
+
+Determinism contract
+--------------------
+* The injector draws from its RNG **only** for features whose rate is
+  non-zero.  A null plan (all rates zero, no partitions, no crashes)
+  therefore performs *zero* draws and the network takes the identical
+  code path it takes with no plan at all — enforced by the differential
+  test ``tests/test_fault_differential.py``.
+* Draw order per message is fixed: partition check (no draw), then loss
+  draw, then jitter draw, then duplicate draw.  Skipped features skip
+  their draw entirely rather than drawing-and-ignoring, so enabling a
+  feature never perturbs the stream consumed by another.
+
+The module also hosts the knobs for surviving the faults:
+:class:`RetryPolicy` (client-side end-to-end resubmission),
+:class:`ReliabilityConfig` (the network's ARQ transport), and
+:class:`LivenessConfig` (server-side heartbeat eviction, Section III-C).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import ClientId, TimeMs
+
+
+# ---------------------------------------------------------------------------
+# Plan ingredients
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Partition:
+    """A scheduled window during which a set of hosts is cut off.
+
+    While ``start_ms <= now < end_ms`` every message with a member of
+    ``hosts`` as source *or* destination is dropped.  ``hosts=None``
+    partitions everybody (total blackout).
+    """
+
+    start_ms: TimeMs
+    end_ms: TimeMs
+    hosts: Optional[frozenset[ClientId]] = None
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise ConfigurationError(
+                f"partition window is empty: [{self.start_ms}, {self.end_ms})"
+            )
+        if self.hosts is not None and not isinstance(self.hosts, frozenset):
+            object.__setattr__(self, "hosts", frozenset(self.hosts))
+
+    def severs(self, src: ClientId, dst: ClientId, now: TimeMs) -> bool:
+        """True when this window is active and covers ``src -> dst``."""
+        if not (self.start_ms <= now < self.end_ms):
+            return False
+        return self.hosts is None or src in self.hosts or dst in self.hosts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "hosts": sorted(self.hosts) if self.hosts is not None else None,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Partition":
+        hosts = data.get("hosts")
+        return Partition(
+            start_ms=data["start_ms"],
+            end_ms=data["end_ms"],
+            hosts=frozenset(hosts) if hosts is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """A scheduled client crash, optionally followed by a reconnect.
+
+    ``reconnect_at_ms=None`` means the client never comes back (the
+    permanent failure of Section III-C).
+    """
+
+    client_id: ClientId
+    at_ms: TimeMs
+    reconnect_at_ms: Optional[TimeMs] = None
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ConfigurationError(f"crash time must be >= 0, got {self.at_ms}")
+        if self.reconnect_at_ms is not None and self.reconnect_at_ms <= self.at_ms:
+            raise ConfigurationError(
+                f"reconnect at {self.reconnect_at_ms} must follow crash at {self.at_ms}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "at_ms": self.at_ms,
+            "reconnect_at_ms": self.reconnect_at_ms,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "CrashWindow":
+        return CrashWindow(
+            client_id=data["client_id"],
+            at_ms=data["at_ms"],
+            reconnect_at_ms=data.get("reconnect_at_ms"),
+        )
+
+
+def parse_crash_plan(text: str) -> Tuple[CrashWindow, ...]:
+    """Parse the CLI crash-plan syntax into :class:`CrashWindow` tuples.
+
+    Syntax: comma-separated ``CLIENT@CRASH_MS[:RECONNECT_MS]`` entries,
+    e.g. ``"0@800"`` (client 0 dies at t=800ms, stays dead) or
+    ``"0@800:2500,3@1200"``.
+    """
+    windows = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            client_part, _, when_part = chunk.partition("@")
+            if not when_part:
+                raise ValueError("missing '@'")
+            crash_part, _, reconnect_part = when_part.partition(":")
+            windows.append(
+                CrashWindow(
+                    client_id=int(client_part),
+                    at_ms=float(crash_part),
+                    reconnect_at_ms=float(reconnect_part) if reconnect_part else None,
+                )
+            )
+        except (ValueError, ConfigurationError) as exc:
+            raise ConfigurationError(
+                f"bad crash-plan entry {chunk!r} "
+                f"(expected CLIENT@CRASH_MS[:RECONNECT_MS]): {exc}"
+            ) from exc
+    return tuple(windows)
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of everything that goes wrong.
+
+    The plan is pure data (serializable via :meth:`to_dict`); the
+    per-run RNG state lives in the :class:`FaultInjector` built from it.
+    """
+
+    #: Probability each message is dropped on the wire.
+    loss_rate: float = 0.0
+    #: Extra per-message delay drawn uniformly from [0, jitter_ms].
+    jitter_ms: TimeMs = 0.0
+    #: Probability a delivered message is delivered a second time.
+    duplicate_rate: float = 0.0
+    #: Seed for the dedicated fault RNG.
+    seed: int = 0
+    partitions: Tuple[Partition, ...] = ()
+    crashes: Tuple[CrashWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ConfigurationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if not (0.0 <= self.duplicate_rate < 1.0):
+            raise ConfigurationError(
+                f"duplicate_rate must be in [0, 1), got {self.duplicate_rate}"
+            )
+        if self.jitter_ms < 0:
+            raise ConfigurationError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def is_null(self) -> bool:
+        """True when this plan injects nothing at all.
+
+        A null plan must be indistinguishable from no plan (the
+        differential test's contract), so everything gated on faults
+        checks ``plan is not None and not plan.is_null``.
+        """
+        return (
+            self.loss_rate == 0.0
+            and self.jitter_ms == 0.0
+            and self.duplicate_rate == 0.0
+            and not self.partitions
+            and not self.crashes
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "loss_rate": self.loss_rate,
+            "jitter_ms": self.jitter_ms,
+            "duplicate_rate": self.duplicate_rate,
+            "seed": self.seed,
+            "partitions": [p.to_dict() for p in self.partitions],
+            "crashes": [c.to_dict() for c in self.crashes],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultPlan":
+        return FaultPlan(
+            loss_rate=data.get("loss_rate", 0.0),
+            jitter_ms=data.get("jitter_ms", 0.0),
+            duplicate_rate=data.get("duplicate_rate", 0.0),
+            seed=data.get("seed", 0),
+            partitions=tuple(
+                Partition.from_dict(p) for p in data.get("partitions", ())
+            ),
+            crashes=tuple(CrashWindow.from_dict(c) for c in data.get("crashes", ())),
+        )
+
+
+class FaultInjector:
+    """Per-run fault oracle: one seeded RNG, one verdict per message."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+
+    def decide(
+        self, src: ClientId, dst: ClientId, now: TimeMs
+    ) -> Tuple[bool, TimeMs, bool]:
+        """The fate of one message: ``(drop, extra_delay_ms, duplicate)``.
+
+        Partitioned messages are dropped without consuming a loss draw;
+        each enabled feature consumes exactly one draw per message so
+        the stream replays identically run-to-run.
+        """
+        plan = self.plan
+        dropped = any(p.severs(src, dst, now) for p in plan.partitions)
+        if not dropped and plan.loss_rate > 0.0:
+            dropped = self.rng.random() < plan.loss_rate
+        extra_delay = 0.0
+        if plan.jitter_ms > 0.0:
+            extra_delay = self.rng.random() * plan.jitter_ms
+        duplicate = False
+        if plan.duplicate_rate > 0.0 and not dropped:
+            duplicate = self.rng.random() < plan.duplicate_rate
+        return dropped, extra_delay, duplicate
+
+
+# ---------------------------------------------------------------------------
+# Survival knobs
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """End-to-end client resubmission: capped exponential backoff.
+
+    Attempt *k* (0-based) is retried after
+    ``min(timeout_ms * backoff**k, max_timeout_ms) + U(0, jitter_ms)``
+    where the jitter is drawn from the *client's own* seeded RNG, never
+    the shared fault RNG (so retries do not perturb fault decisions).
+    """
+
+    timeout_ms: TimeMs = 1_000.0
+    backoff: float = 2.0
+    max_timeout_ms: TimeMs = 8_000.0
+    jitter_ms: TimeMs = 0.0
+    max_attempts: int = 6
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout_ms}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random) -> TimeMs:
+        """Wait before resubmission number ``attempt`` (0-based)."""
+        base = min(self.timeout_ms * (self.backoff**attempt), self.max_timeout_ms)
+        if self.jitter_ms > 0.0:
+            base += rng.random() * self.jitter_ms
+        return base
+
+    @staticmethod
+    def for_rtt(rtt_ms: TimeMs) -> "RetryPolicy":
+        """A sane policy for a known round-trip time: time out well past
+        one round trip plus ARQ recovery, cap the backoff at a few
+        multiples."""
+        timeout = max(4.0 * rtt_ms, 400.0)
+        return RetryPolicy(
+            timeout_ms=timeout,
+            backoff=2.0,
+            max_timeout_ms=2.0 * timeout,
+            jitter_ms=0.1 * max(rtt_ms, 100.0),
+            max_attempts=6,
+        )
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """The network-level ARQ transport (selective repeat + cumulative
+    ACKs) that restores per-link reliable FIFO delivery over a lossy
+    plan.  Sits *below* the handler layer, so every architecture
+    inherits it without protocol changes."""
+
+    rto_ms: TimeMs = 500.0
+    rto_backoff: float = 2.0
+    max_rto_ms: TimeMs = 4_000.0
+    #: Retransmissions of one packet before the sender gives up on it
+    #: (the receiver is told to advance past the abandoned sequence).
+    max_retries: int = 10
+    #: Simulated overhead bytes per data packet / per ACK.
+    header_bytes: int = 8
+    ack_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rto_ms <= 0:
+            raise ConfigurationError(f"rto must be > 0, got {self.rto_ms}")
+        if self.rto_backoff < 1.0:
+            raise ConfigurationError(
+                f"rto_backoff must be >= 1, got {self.rto_backoff}"
+            )
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+
+    @staticmethod
+    def for_rtt(rtt_ms: TimeMs) -> "ReliabilityConfig":
+        rto = 2.0 * rtt_ms + 100.0
+        return ReliabilityConfig(rto_ms=rto, max_rto_ms=8.0 * rto)
+
+
+@dataclass(frozen=True)
+class LivenessConfig:
+    """Server-side liveness tracking (Section III-C).
+
+    Clients send heartbeats every ``heartbeat_interval_ms``; a client
+    not heard from (heartbeat *or* protocol message) for ``timeout_ms``
+    is presumed dead and evicted.  The eviction sweep runs every
+    ``check_interval_ms`` (default: half the timeout)."""
+
+    heartbeat_interval_ms: TimeMs = 1_000.0
+    timeout_ms: TimeMs = 5_000.0
+    check_interval_ms: Optional[TimeMs] = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_ms <= 0:
+            raise ConfigurationError(
+                f"heartbeat interval must be > 0, got {self.heartbeat_interval_ms}"
+            )
+        if self.timeout_ms <= self.heartbeat_interval_ms:
+            raise ConfigurationError(
+                "liveness timeout must exceed the heartbeat interval "
+                f"({self.timeout_ms} <= {self.heartbeat_interval_ms})"
+            )
+
+    @property
+    def effective_check_interval_ms(self) -> TimeMs:
+        return (
+            self.check_interval_ms
+            if self.check_interval_ms is not None
+            else self.timeout_ms / 2.0
+        )

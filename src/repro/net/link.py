@@ -47,10 +47,14 @@ class Link:
         self.latency_ms = latency_ms
         self.bandwidth_bps = bandwidth_bps or None
         self._wire_free_at: TimeMs = 0.0
+        self._last_arrival: TimeMs = 0.0
         #: Messages currently in flight (for diagnostics).
         self.in_flight: int = 0
         #: Total messages delivered over this link.
         self.delivered: int = 0
+        #: Messages that reached the far end but could not be delivered
+        #: (dropped by fault injection, or the destination is gone).
+        self.undelivered: int = 0
 
     def serialization_delay(self, size_bytes: int) -> TimeMs:
         """Milliseconds needed to clock ``size_bytes`` onto the wire."""
@@ -62,23 +66,33 @@ class Link:
         self,
         size_bytes: int,
         deliver: Callable[[], None],
+        extra_delay: TimeMs = 0.0,
     ) -> TimeMs:
         """Send a message; ``deliver`` runs at the arrival time.
 
         Returns the (absolute) delivery time, which callers may use for
-        bookkeeping.  FIFO order is guaranteed per link.
+        bookkeeping.  FIFO order is guaranteed per link even when
+        ``extra_delay`` (fault-injected jitter) varies per message: a
+        message can never arrive before one sent earlier.  ``deliver``
+        may return ``False`` to report that the message reached the far
+        end but was not handed to anyone (fault drop, dead host); such
+        messages count as ``undelivered`` rather than ``delivered``.
         """
         if size_bytes < 0:
             raise NetworkError(f"message size must be non-negative, got {size_bytes}")
         start = max(self.sim.now, self._wire_free_at)
         self._wire_free_at = start + self.serialization_delay(size_bytes)
-        arrival = self._wire_free_at + self.latency_ms
+        arrival = self._wire_free_at + self.latency_ms + extra_delay
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
         self.in_flight += 1
 
         def on_arrival() -> None:
             self.in_flight -= 1
-            self.delivered += 1
-            deliver()
+            if deliver() is False:
+                self.undelivered += 1
+            else:
+                self.delivered += 1
 
         self.sim.schedule_at(arrival, on_arrival)
         return arrival

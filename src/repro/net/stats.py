@@ -19,7 +19,12 @@ class TrafficMeter:
 
     Traffic is attributed to both endpoints so that per-host uplink and
     downlink totals can be reported, and to the (src, dst) pair for
-    fan-out analysis.  All counters are monotonically increasing.
+    fan-out analysis.  Sent-side counters are monotonically increasing;
+    ``bytes_received`` is provisionally credited at send time and
+    debited again if fault injection drops the message or the receiver
+    is gone when it arrives (:meth:`note_dropped`,
+    :meth:`note_undelivered`), so end-of-run totals reflect what hosts
+    actually received.
     """
 
     def __init__(self) -> None:
@@ -29,6 +34,19 @@ class TrafficMeter:
         self.bytes_received: Dict[ClientId, int] = defaultdict(int)
         self.messages_sent: Dict[ClientId, int] = defaultdict(int)
         self.pair_bytes: Dict[Tuple[ClientId, ClientId], int] = defaultdict(int)
+        #: Messages dropped on the wire by fault injection.
+        self.messages_dropped: int = 0
+        #: Bytes of those dropped messages.
+        self.bytes_dropped: int = 0
+        #: Messages that arrived after their destination departed.
+        self.messages_undelivered: int = 0
+        #: Fault-injected duplicate deliveries (plus ARQ-level
+        #: duplicates discarded by the receiver).
+        self.messages_duplicated: int = 0
+        #: ARQ retransmissions performed by the reliable transport.
+        self.retransmissions: int = 0
+        #: Packets the reliable transport gave up on after max retries.
+        self.messages_abandoned: int = 0
 
     def record(self, src: ClientId, dst: ClientId, size_bytes: int) -> None:
         """Account one message of ``size_bytes`` from ``src`` to ``dst``."""
@@ -38,6 +56,31 @@ class TrafficMeter:
         self.bytes_received[dst] += size_bytes
         self.messages_sent[src] += 1
         self.pair_bytes[(src, dst)] += size_bytes
+
+    def note_dropped(self, src: ClientId, dst: ClientId, size_bytes: int) -> None:
+        """A sent message was lost on the wire: keep the send-side
+        accounting (the bytes did hit the wire) but take the receive
+        credit back."""
+        self.messages_dropped += 1
+        self.bytes_dropped += size_bytes
+        self.bytes_received[dst] -= size_bytes
+
+    def note_undelivered(self, src: ClientId, dst: ClientId, size_bytes: int) -> None:
+        """A sent message arrived at a host that no longer exists."""
+        self.messages_undelivered += 1
+        self.bytes_received[dst] -= size_bytes
+
+    def note_duplicate(self) -> None:
+        """One duplicate delivery happened (or was discarded by ARQ)."""
+        self.messages_duplicated += 1
+
+    def note_retransmit(self) -> None:
+        """The reliable transport retransmitted one packet."""
+        self.retransmissions += 1
+
+    def note_abandoned(self) -> None:
+        """The reliable transport gave up on one packet."""
+        self.messages_abandoned += 1
 
     @property
     def total_kb(self) -> float:

@@ -18,6 +18,8 @@ from repro.harness.architectures import build_engine, build_world
 from repro.harness.config import SimulationSettings
 from repro.harness.workload import MoveWorkload
 from repro.metrics.consistency import ConsistencyChecker
+from repro.net.faults import CrashWindow, FaultPlan
+from repro.types import SERVER_ID
 from repro.world.manhattan import ManhattanConfig, ManhattanWorld
 
 
@@ -140,6 +142,88 @@ def test_seve_fault_tolerant_mode_commits_orphans():
         {cid: c.stable for cid, c in engine.clients.items() if cid != 0}
     )
     assert report.consistent
+
+
+ALL_ARCHITECTURES = [
+    "central", "broadcast", "ring", "seve", "incomplete", "locking",
+    "timestamp", "zoned",
+]
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_midflight_crash_cancels_inflight_deliveries(architecture):
+    """Killing a client via Network.crash while messages are in flight
+    both directions must cancel the deliveries to the corpse — counted
+    as undelivered, never raised, never handed to a dead handler."""
+    world = build_world(SETTINGS)
+    engine = build_engine(architecture, SETTINGS, world)
+    workload = MoveWorkload(engine, world, SETTINGS)
+    engine.start()
+    workload.install()
+
+    def kill() -> None:
+        # Put a delivery genuinely in flight toward the victim at the
+        # instant of death (servers now stop *initiating* sends to a
+        # parked client, so protocol traffic alone cannot be relied on
+        # to be mid-wire at an arbitrary kill time).
+        engine.network.send(SERVER_ID, 0, "probe", 8)
+        workload.stop_client(0)
+        engine.network.crash(0)
+        engine.mark_dead(0)
+
+    # 800ms is mid-interval: client 0 has submissions in flight up and
+    # replies in flight down when it dies.
+    engine.sim.schedule(800.0, kill)
+    engine.run(until=SETTINGS.workload_duration_ms + 1000)
+    engine.run_to_quiescence(max_extra_ms=30_000)
+    assert engine.network.meter.messages_undelivered > 0
+    survivors = [cid for cid in engine.clients if cid != 0]
+    assert sum(
+        engine.response_times.client_summary(cid).count for cid in survivors
+    ) > 0
+
+
+@pytest.mark.parametrize("architecture", ALL_ARCHITECTURES)
+def test_midflight_crash_with_reconnect(architecture):
+    """A crashed client that reconnects resumes receiving traffic (the
+    parked handler is revived in place), with the full fault machinery
+    — ARQ, retries, liveness — active."""
+    plan = FaultPlan(
+        seed=5, crashes=(CrashWindow(0, 800.0, reconnect_at_ms=2_400.0),)
+    )
+    settings = SETTINGS.with_(fault_plan=plan)
+    world = build_world(settings)
+    engine = build_engine(architecture, settings, world)
+    workload = MoveWorkload(engine, world, settings)
+    horizon = settings.workload_duration_ms + 1000
+    engine.start(stop_at=horizon + 15_000.0)
+    workload.install()
+    delivered_at_revival = {}
+
+    def kill() -> None:
+        workload.stop_client(0)
+        engine.network.crash(0)
+        engine.mark_dead(0)
+
+    def revive() -> None:
+        delivered_at_revival["n"] = engine.network.link(SERVER_ID, 0).delivered
+        engine.network.reconnect(0)
+        engine.mark_alive(0)
+        workload.resume_client(0)
+
+    engine.sim.schedule(800.0, kill)
+    engine.sim.schedule(2_400.0, revive)
+    engine.run(until=horizon)
+    engine.run_to_quiescence(max_extra_ms=60_000)
+    # The revived client received fresh deliveries after the reconnect.
+    assert (
+        engine.network.link(SERVER_ID, 0).delivered
+        > delivered_at_revival["n"]
+    )
+    survivors = [cid for cid in engine.clients if cid != 0]
+    assert sum(
+        engine.response_times.client_summary(cid).count for cid in survivors
+    ) > 0
 
 
 def test_seve_without_fault_tolerance_stalls_gracefully():

@@ -1,0 +1,204 @@
+"""Property tests of runs under an *active* fault plan
+(docs/fault_model.md):
+
+1. **Replay** — the same (workload seed, fault seed) pair reproduces the
+   run exactly, for every architecture.
+2. **Convergence** — under loss + retry, every architecture still passes
+   its end-of-run consistency check and survivors agree with the
+   server's committed state.
+3. **Idempotency** — duplicated deliveries never double-apply an action
+   (the ActionId / ARQ-sequence dedup layers).
+4. **Acceptance** — under 5% loss, 50 ms jitter, and one mid-run crash,
+   the four headline architectures complete the workload with no
+   survivor divergence (the Section III-C claim, end to end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.net.faults import CrashWindow, FaultPlan
+
+BASE = SimulationSettings(
+    num_clients=10,
+    num_walls=120,
+    moves_per_client=10,
+    world_width=250.0,
+    world_height=250.0,
+    spawn_extent=60.0,
+    rtt_ms=150.0,
+    move_interval_ms=200.0,
+    move_cost_ms=1.0,
+    eval_overhead_ms=0.1,
+    seed=21,
+)
+
+#: The RING-like baseline is inconsistent *by construction* at small
+#: visibility (Section III-B); with visibility covering the whole world
+#: it relays everything (≈ Broadcast) and the fault machinery — not the
+#: architecture — is what the consistency check exercises.
+RING_SETTINGS = BASE.with_(visibility=1_000.0)
+
+LOSSY = FaultPlan(loss_rate=0.05, jitter_ms=30.0, duplicate_rate=0.02, seed=8)
+
+ACCEPTANCE = ["seve", "central", "broadcast", "ring"]
+
+
+def _settings_for(architecture: str, plan: FaultPlan) -> SimulationSettings:
+    base = RING_SETTINGS if architecture == "ring" else BASE
+    return base.with_(fault_plan=plan)
+
+
+def _fingerprint(result):
+    summary = result.response
+    return (
+        result.moves_submitted,
+        result.responses_observed,
+        (summary.count, summary.mean, summary.p95, summary.maximum),
+        result.total_traffic_kb,
+        result.virtual_ms,
+        result.events,
+        result.messages_dropped,
+        result.messages_duplicated,
+        result.retransmissions,
+        result.clients_evicted,
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Replay: same seeds, same transcript
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.faults
+@pytest.mark.parametrize("architecture", ACCEPTANCE)
+def test_fault_runs_replay_identically(architecture):
+    settings = _settings_for(architecture, LOSSY)
+    first = run_simulation(architecture, settings)
+    second = run_simulation(architecture, settings)
+    assert _fingerprint(first) == _fingerprint(second)
+    assert first.messages_dropped > 0  # the plan actually fired
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_different_fault_seed_changes_the_run():
+    a = run_simulation("seve", BASE.with_(fault_plan=LOSSY))
+    b = run_simulation(
+        "seve", BASE.with_(fault_plan=FaultPlan(
+            loss_rate=0.05, jitter_ms=30.0, duplicate_rate=0.02, seed=9
+        ))
+    )
+    assert _fingerprint(a) != _fingerprint(b)
+
+
+# ---------------------------------------------------------------------------
+# 2. Convergence under loss + retry
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.faults
+@pytest.mark.parametrize("architecture", ACCEPTANCE)
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_lossy_run_still_converges(architecture, seed):
+    plan = FaultPlan(loss_rate=0.05, jitter_ms=30.0, seed=seed)
+    result = run_simulation(architecture, _settings_for(architecture, plan))
+    assert result.messages_dropped > 0
+    assert result.retransmissions > 0  # ARQ did real work
+    assert result.consistency is not None and result.consistency.consistent, (
+        result.consistency and result.consistency.violations[:3]
+    )
+    # Loss never loses *actions*: end-to-end retries + ARQ deliver every
+    # submission, so every move gets its stable response.
+    assert result.responses_observed == result.moves_submitted
+
+
+# ---------------------------------------------------------------------------
+# 3. Duplicates never double-apply
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.faults
+@pytest.mark.parametrize("architecture", ACCEPTANCE)
+def test_duplicated_deliveries_never_double_apply(architecture):
+    plan = FaultPlan(duplicate_rate=0.25, seed=6)
+    result = run_simulation(architecture, _settings_for(architecture, plan))
+    assert result.messages_duplicated > 0
+    assert result.consistency is not None and result.consistency.consistent
+    # Each submission is answered exactly once despite the echoes.
+    assert result.responses_observed == result.moves_submitted
+
+
+# ---------------------------------------------------------------------------
+# 4. Acceptance: loss + jitter + a mid-run crash
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.faults
+@pytest.mark.parametrize("architecture", ACCEPTANCE)
+def test_degraded_network_with_casualty(architecture):
+    """The ISSUE's acceptance scenario: 5% loss, 50 ms jitter, and one
+    client dying mid-run.  Everything must complete, the casualty must
+    be evicted (Section III-C), and the survivors must not diverge."""
+    plan = FaultPlan(
+        loss_rate=0.05,
+        jitter_ms=50.0,
+        seed=12,
+        crashes=(CrashWindow(client_id=1, at_ms=700.0),),
+    )
+    result = run_simulation(architecture, _settings_for(architecture, plan))
+    assert result.clients_evicted == 1
+    assert result.consistency is not None and result.consistency.consistent, (
+        result.consistency and result.consistency.violations[:3]
+    )
+    # Survivors kept getting answers after the death.
+    assert result.responses_observed > 0
+    assert result.moves_submitted > 0
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_crash_and_reconnect_rejoins_the_run():
+    """A client that crashes and later reconnects resumes submitting
+    and the run still converges for the survivors."""
+    plan = FaultPlan(
+        loss_rate=0.02,
+        jitter_ms=20.0,
+        seed=14,
+        crashes=(CrashWindow(client_id=1, at_ms=700.0, reconnect_at_ms=9_000.0),),
+    )
+    result = run_simulation("seve", BASE.with_(fault_plan=plan))
+    assert result.consistency is not None and result.consistency.consistent
+    assert result.responses_observed > 0
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+@pytest.mark.parametrize("architecture", ["seve", "incomplete", "seve-hybrid"])
+def test_early_reconnect_with_overlapping_crashes(architecture):
+    """Regression for three reconnect-boundary bugs, at default scale.
+
+    Clients that reconnect *before* the liveness sweep can evict them
+    used to skip the server-side resync, so closures kept subtracting
+    entries that were dropped inside the crash window; a push batch
+    built during the window and still in flight at reconnect was
+    delivered to the revived handler; and a closure chain re-pulling an
+    entry older than something already delivered let a client evaluate
+    it against future values of its read set.  Each produced survivor
+    divergence (conflicting completions or missing objects) under two
+    overlapping crash windows with early reconnects."""
+    plan = FaultPlan(
+        loss_rate=0.05,
+        jitter_ms=50.0,
+        duplicate_rate=0.02,
+        seed=7,
+        crashes=(
+            CrashWindow(client_id=2, at_ms=900.0, reconnect_at_ms=6_000.0),
+            CrashWindow(client_id=5, at_ms=1_500.0, reconnect_at_ms=8_000.0),
+        ),
+    )
+    result = run_simulation(
+        architecture, SimulationSettings(num_clients=25, fault_plan=plan)
+    )
+    assert result.consistency is not None and result.consistency.consistent, (
+        result.consistency and result.consistency.violations[:3]
+    )
+    assert result.responses_observed > 0
