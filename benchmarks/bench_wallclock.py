@@ -150,6 +150,60 @@ def bench_end_to_end(num_clients: int, moves_per_client: int) -> dict:
     return results
 
 
+def bench_observability(num_clients: int, moves_per_client: int) -> dict:
+    """Cost of the repro.obs layer: the same run unobserved vs with a
+    full Observer (metrics + trace + profile) attached.
+
+    Deterministic outcomes must be identical either way — the
+    observability determinism contract (docs/observability.md); the
+    per-phase breakdown and counter metrics ride along in the report.
+    """
+    from repro.harness.config import SimulationSettings
+    from repro.harness.runner import run_simulation
+    from repro.obs import Observer
+
+    settings = SimulationSettings(
+        num_clients=num_clients,
+        num_walls=500,
+        moves_per_client=moves_per_client,
+        spawn_extent=300.0,
+        rtt_ms=150.0,
+        bandwidth_bps=None,
+        cost_model="fixed",
+        move_cost_ms=1.0,
+        eval_overhead_ms=0.1,
+        seed=29,
+    )
+    unobserved = run_simulation("seve", settings, check_consistency=False)
+    observer = Observer(trace=True, profile=True)
+    observed = run_simulation(
+        "seve", settings, check_consistency=False, obs=observer
+    )
+    for name in ("virtual_ms", "events", "moves_submitted", "total_traffic_kb"):
+        if getattr(unobserved, name) != getattr(observed, name):
+            raise AssertionError(
+                f"observability changed {name}: "
+                f"{getattr(unobserved, name)} vs {getattr(observed, name)}"
+            )
+    counters = {
+        name: entry["value"]
+        for name, entry in observer.metrics.to_dict().items()
+        if entry["type"] == "counter"
+    }
+    return {
+        "clients": num_clients,
+        "moves_per_client": moves_per_client,
+        "unobserved_wall_s": unobserved.wall_seconds,
+        "observed_wall_s": observed.wall_seconds,
+        "overhead_percent": 100.0
+        * (observed.wall_seconds - unobserved.wall_seconds)
+        / unobserved.wall_seconds,
+        "trace_events": len(observer.trace),
+        "counters": counters,
+        "profile": observed.profile,
+    }
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     repeats = 2 if quick else 3
@@ -169,6 +223,9 @@ def main(argv: list[str]) -> int:
         "closure": bench_closure(2048, repeats),
         "end_to_end": bench_end_to_end(
             64 if quick else 192, 6 if quick else 10
+        ),
+        "observability": bench_observability(
+            32 if quick else 96, 6 if quick else 10
         ),
     }
     report["acceptance"] = {

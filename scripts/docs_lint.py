@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Documentation lint: link integrity and doc-map coverage.
+
+Two checks, both cheap enough for every test run:
+
+1. **Links resolve.**  Every relative markdown link in the repo's
+   documentation (``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md``,
+   ``ROADMAP.md``, ``CHANGES.md``, ``docs/*.md``) must point at a file
+   or directory that exists.  Absolute URLs (``http://``/``https://``)
+   and in-page anchors (``#...``) are skipped — we do not do network
+   I/O in tests.
+2. **The doc map is complete.**  Every file matching ``docs/*.md`` must
+   be reachable from ``docs/index.md`` by following relative links, so
+   a new document cannot silently miss the index.
+
+Exit status 0 when clean; 1 with one ``file: problem`` line per finding.
+
+Run:  python scripts/docs_lint.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Top-level documents linted in addition to docs/*.md.
+TOP_LEVEL_DOCS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+)
+
+#: Inline markdown links: [text](target).  Images (![alt](target)) are
+#: matched too — their targets must exist just the same.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code blocks — links inside them are examples, not links.
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def extract_links(text: str) -> list[str]:
+    """All inline link targets in ``text``, code fences stripped.
+
+    >>> extract_links("See [a](x.md) and ![img](y.png).")
+    ['x.md', 'y.png']
+    >>> extract_links("```\\n[not a link](skipped.md)\\n```")
+    []
+    """
+    return LINK_RE.findall(FENCE_RE.sub("", text))
+
+
+def is_checkable(target: str) -> bool:
+    """Whether ``target`` is a relative path we can verify on disk.
+
+    >>> is_checkable("../README.md")
+    True
+    >>> any(map(is_checkable, ["https://x.dev", "#anchor", "mailto:a@b"]))
+    False
+    """
+    return not (
+        "://" in target
+        or target.startswith("#")
+        or target.startswith("mailto:")
+    )
+
+
+def link_target_path(doc: pathlib.Path, target: str) -> pathlib.Path:
+    """The filesystem path ``target`` points at, anchors stripped."""
+    bare = target.split("#", 1)[0]
+    return (doc.parent / bare).resolve()
+
+
+def lint_links(docs: list[pathlib.Path]) -> list[str]:
+    """``file: problem`` lines for every dangling relative link."""
+    problems = []
+    for doc in docs:
+        for target in extract_links(doc.read_text()):
+            if not is_checkable(target):
+                continue
+            if not link_target_path(doc, target).exists():
+                rel = doc.relative_to(REPO_ROOT)
+                problems.append(f"{rel}: dangling link ({target})")
+    return problems
+
+
+def lint_doc_map(docs_dir: pathlib.Path) -> list[str]:
+    """``file: problem`` lines for docs/*.md unreachable from index.md."""
+    index = docs_dir / "index.md"
+    if not index.exists():
+        return [f"{index.relative_to(REPO_ROOT)}: missing (the doc map)"]
+    reachable = {index.resolve()}
+    frontier = [index]
+    while frontier:
+        doc = frontier.pop()
+        for target in extract_links(doc.read_text()):
+            if not is_checkable(target):
+                continue
+            path = link_target_path(doc, target)
+            if (
+                path.suffix == ".md"
+                and path.exists()
+                and path not in reachable
+            ):
+                reachable.add(path)
+                if docs_dir.resolve() in path.parents:
+                    frontier.append(path)
+    return [
+        f"{doc.relative_to(REPO_ROOT)}: not reachable from docs/index.md"
+        for doc in sorted(docs_dir.glob("*.md"))
+        if doc.resolve() not in reachable
+    ]
+
+
+def main() -> int:
+    docs_dir = REPO_ROOT / "docs"
+    docs = [
+        REPO_ROOT / name
+        for name in TOP_LEVEL_DOCS
+        if (REPO_ROOT / name).exists()
+    ] + sorted(docs_dir.glob("*.md"))
+    problems = lint_links(docs) + lint_doc_map(docs_dir)
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"docs lint: {len(docs)} documents clean")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,28 +1,40 @@
 #!/usr/bin/env bash
-# Test driver: fast tier-1 suite first, then the slow fault-injection
-# matrix (docs/fault_model.md).
+# Test driver: docs lint + doctests + fast tier-1 suite first, then the
+# slow fault-injection matrix (docs/fault_model.md).
 #
 # Usage:
-#   scripts/test.sh            fast suite, then the fault matrix
-#   scripts/test.sh --fast     fast suite only (deselects slow tests)
+#   scripts/test.sh            everything: lint, doctests, fast suite,
+#                              slow differentials, fault matrix
+#   scripts/test.sh --fast     lint, doctests, fast suite (pre-commit gate)
 #   scripts/test.sh --faults   fault matrix only (-m faults)
 #
-# The fast suite is the pre-commit gate; the fault matrix replays
-# degraded-network and churn scenarios (loss, jitter, duplication,
-# crash/reconnect) across the architectures and takes several minutes.
+# The fault matrix replays degraded-network and churn scenarios (loss,
+# jitter, duplication, crash/reconnect) across the architectures and
+# takes several minutes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+# Documentation lint (links resolve; docs/index.md covers docs/*.md)
+# and the executable examples embedded in docstrings.
+lint_and_doctests() {
+  python scripts/docs_lint.py
+  python -m pytest -x -q --doctest-modules \
+    src/repro/obs src/repro/metrics/report.py src/repro/net/stats.py \
+    scripts/docs_lint.py
+}
+
 case "${1:-}" in
   --fast)
+    lint_and_doctests
     python -m pytest -x -q -m "not slow"
     ;;
   --faults)
     python -m pytest -x -q -m faults
     ;;
   *)
+    lint_and_doctests
     python -m pytest -x -q -m "not slow"
     python -m pytest -x -q -m "slow and not faults"
     python -m pytest -x -q -m faults

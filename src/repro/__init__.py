@@ -24,12 +24,15 @@ Public surface
 * :class:`repro.harness.config.SimulationSettings` — Table I settings.
 * :func:`repro.harness.runner.run_simulation` — one-call experiments.
 * :mod:`repro.harness.experiments` — per-figure drivers.
+* :class:`repro.obs.Observer` — tracing / metrics / profiling
+  (docs/observability.md); zero overhead when not attached.
 """
 
 from repro.core.action import Action, ActionId, ActionResult, BlindWrite
 from repro.core.engine import SeveConfig, SeveEngine
 from repro.harness.config import SimulationSettings
 from repro.harness.runner import RunResult, run_simulation
+from repro.obs import Observer
 
 __version__ = "1.0.0"
 
@@ -38,6 +41,7 @@ __all__ = [
     "ActionId",
     "ActionResult",
     "BlindWrite",
+    "Observer",
     "RunResult",
     "SeveConfig",
     "SeveEngine",

@@ -19,7 +19,7 @@ SEVE engine does.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set
 
 from repro.core.action import Action, ActionId
@@ -68,6 +68,9 @@ class BaselineConfig:
     reliability: Optional[ReliabilityConfig] = None
     retry: Optional[RetryPolicy] = None
     liveness: Optional[LivenessConfig] = None
+    #: Optional :class:`repro.obs.Observer` (read-only telemetry;
+    #: excluded from equality/repr like SeveConfig's).
+    obs: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.rtt_ms < 0:
@@ -93,6 +96,7 @@ class BaselineClient:
         *,
         retry: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -100,6 +104,8 @@ class BaselineClient:
         self.client_id = client_id
         self.store = store
         self.retry = retry
+        #: Optional :class:`repro.obs.Observer` (read-only telemetry).
+        self._obs = obs
         self._submit_times: Dict[ActionId, TimeMs] = {}
         self.submitted = 0
         self.evaluated = 0
@@ -153,6 +159,8 @@ class BaselineClient:
         if not self.network.is_registered(self.client_id):
             return  # we crashed
         self.retransmissions += 1
+        if self._obs is not None:
+            self._obs.on_client_retry(self.client_id, self.sim.now, attempt + 1)
         message = SubmitAction(action)
         self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
         self._arm_retry(action, attempt + 1)
@@ -191,7 +199,8 @@ class BaselineEngine:
             raise ConfigurationError(f"num_clients must be >= 0, got {num_clients}")
         self.world = world
         self.config = config or BaselineConfig()
-        self.sim = Simulator()
+        self.obs = self.config.obs
+        self.sim = Simulator(obs=self.obs)
         plan = self.config.fault_plan
         self.faults = (
             FaultInjector(plan) if plan is not None and not plan.is_null else None
@@ -202,8 +211,9 @@ class BaselineEngine:
             bandwidth_bps=self.config.bandwidth_bps,
             faults=self.faults,
             reliability=self.config.reliability,
+            obs=self.obs,
         )
-        self.server_host = Host(self.sim, SERVER_ID)
+        self.server_host = Host(self.sim, SERVER_ID, obs=self.obs)
         self.state = VersionedStore(world.initial_objects())
         self.response_times = LatencySampler()
         self.clients: Dict[ClientId, BaselineClient] = {}
@@ -221,7 +231,7 @@ class BaselineEngine:
         self._stop_liveness: Optional[Callable[[], None]] = None
         self.network.register(SERVER_ID, self._server_dispatch)
         for client_id in range(num_clients):
-            host = Host(self.sim, client_id)
+            host = Host(self.sim, client_id, obs=self.obs)
             client = BaselineClient(
                 self.sim,
                 self.network,
@@ -231,6 +241,7 @@ class BaselineEngine:
                 self._make_client_handler(client_id),
                 retry=self.config.retry,
                 retry_seed=plan.seed if plan is not None else 0,
+                obs=self.obs,
             )
             client.on_confirmed = self._make_confirm_hook(client_id)
             self.clients[client_id] = client
@@ -260,6 +271,8 @@ class BaselineEngine:
                 self.duplicate_submissions += 1
                 return
             self._seen_actions.add(action_id)
+            if self.obs is not None:
+                self.obs.on_server_relay(self.sim.now, len(self.clients))
         self._on_server_message(src, payload)
 
     def _make_client_handler(

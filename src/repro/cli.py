@@ -21,7 +21,7 @@ from repro.harness import experiments
 from repro.harness.architectures import ARCHITECTURES
 from repro.harness.config import SimulationSettings
 from repro.harness.runner import run_simulation
-from repro.metrics.report import Table, fault_rows
+from repro.metrics.report import Table, fault_rows, profile_table
 from repro.net.faults import FaultPlan, parse_crash_plan
 
 #: Experiment name -> driver.
@@ -87,6 +87,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash windows, e.g. '0@800:2500,3@1200' "
         "(client@crash_ms[:reconnect_ms], comma-separated)",
     )
+    obs = run.add_argument_group("observability (docs/observability.md)")
+    obs.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON file (open in Perfetto "
+        "or chrome://tracing)",
+    )
+    obs.add_argument(
+        "--metrics-out", type=str, default=None, metavar="PATH",
+        help="write the metrics-registry JSON export",
+    )
+    obs.add_argument(
+        "--profile", action="store_true",
+        help="collect and print the per-phase count/sim-ms/wall-ms "
+        "breakdown",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -132,6 +147,9 @@ def _command_run(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
         fault_plan=_fault_plan(args),
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+        profile=args.profile,
     )
     result = run_simulation(
         args.architecture,
@@ -156,6 +174,13 @@ def _command_run(args: argparse.Namespace) -> int:
     table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
     table.add_row("wall time (s)", result.wall_seconds)
     print(table.render())
+    if result.profile is not None:
+        print()
+        print(profile_table(result.profile).render())
+    if settings.trace_out is not None:
+        print(f"trace written to {settings.trace_out}")
+    if settings.metrics_out is not None:
+        print(f"metrics written to {settings.metrics_out}")
     if result.consistency is not None and not result.consistency.consistent:
         return 1
     return 0

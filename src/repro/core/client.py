@@ -131,12 +131,15 @@ class ProtocolClient:
         stable_store: ObjectStore,
         *,
         config: Optional[ClientConfig] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.host = host
         self.client_id = client_id
         self.config = config or ClientConfig()
+        #: Optional :class:`repro.obs.Observer` (read-only telemetry).
+        self._obs = obs
         #: ζ_CS — the stable replica, advanced only by the server stream.
         self.stable = stable_store
         #: ζ_CO — the optimistic replica, equal to ζ_CS plus the
@@ -276,6 +279,8 @@ class ProtocolClient:
         cost = entry.action.cost_ms + (
             0.0 if isinstance(entry.action, BlindWrite) else self.config.eval_overhead_ms
         )
+        if self._obs is not None:
+            self._obs.on_client_apply(self.client_id, self.sim.now, cost)
         self.host.execute(cost, lambda: self._process_entry(entry))
 
     def _process_entry(self, entry: OrderedAction) -> None:
@@ -451,6 +456,8 @@ class ProtocolClient:
         if not self.network.is_registered(self.client_id):
             return  # we crashed; a reconnect restarts nothing old
         self.stats.retransmissions += 1
+        if self._obs is not None:
+            self._obs.on_client_retry(self.client_id, self.sim.now, attempt + 1)
         message = SubmitAction(action)
         self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
         self._arm_retry(action, attempt + 1)

@@ -113,6 +113,12 @@ class SeveConfig:
     retry: Optional[RetryPolicy] = None
     #: Server-side heartbeat eviction (Section III-C).
     liveness: Optional[LivenessConfig] = None
+    #: Optional :class:`repro.obs.Observer` threaded through every
+    #: component (simulator, network, hosts, server, clients).  Excluded
+    #: from equality/repr: telemetry is not part of the experiment
+    #: identity, and observation never changes results (the differential
+    #: tests pin this).
+    obs: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -136,7 +142,8 @@ class SeveEngine:
             raise ConfigurationError(f"num_clients must be >= 0, got {num_clients}")
         self.world = world
         self.config = config or SeveConfig()
-        self.sim = Simulator()
+        self.obs = self.config.obs
+        self.sim = Simulator(obs=self.obs)
         plan = self.config.fault_plan
         self.faults = (
             FaultInjector(plan) if plan is not None and not plan.is_null else None
@@ -147,8 +154,9 @@ class SeveEngine:
             bandwidth_bps=self.config.bandwidth_bps,
             faults=self.faults,
             reliability=self.config.reliability,
+            obs=self.obs,
         )
-        self.server_host = Host(self.sim, SERVER_ID)
+        self.server_host = Host(self.sim, SERVER_ID, obs=self.obs)
         #: Clients currently presumed crashed (driven by the harness).
         self.dead: set[ClientId] = set()
         self._heartbeat_stoppers: Dict[ClientId, Callable[[], None]] = {}
@@ -181,6 +189,7 @@ class SeveEngine:
                 eager=True,
                 timestamp_cost_ms=config.costs.timestamp_ms,
                 liveness=config.liveness,
+                obs=self.obs,
             )
             self.predicate = None
             self.info_bound = None
@@ -213,6 +222,7 @@ class SeveEngine:
             use_spatial_index=config.use_distribution_indexes,
             use_writer_index=config.use_distribution_indexes,
             liveness=config.liveness,
+            obs=self.obs,
         )
         if config.mode == "hybrid":
             from repro.core.hybrid import HybridRelayServer
@@ -250,7 +260,7 @@ class SeveEngine:
     def _attach_client(
         self, client_id: ClientId, interests: Optional[frozenset[str]]
     ) -> None:
-        host = Host(self.sim, client_id)
+        host = Host(self.sim, client_id, obs=self.obs)
         incomplete = self.config.mode != "basic"
         plan = self.config.fault_plan
         client_config = ClientConfig(
@@ -278,6 +288,7 @@ class SeveEngine:
             client_id,
             stable,
             config=client_config,
+            obs=self.obs,
         )
         client.on_confirmed = self._make_confirm_hook(client_id)
         client.on_aborted = self._make_abort_hook(client_id)

@@ -152,6 +152,7 @@ class HybridRelayServer(IncompleteWorldServer):
         shared: List[OrderedAction] = []
         shared_index: Dict[int, int] = {}  # pos -> index into shared
         members = []
+        deduplicated_before = self.hybrid_stats.deduplicated_entries
         for client_id, batch_entries in group_batches:
             items: list = []
             for entry in batch_entries:
@@ -174,3 +175,9 @@ class HybridRelayServer(IncompleteWorldServer):
         )
         self.network.send(SERVER_ID, head, bundle, wire_size(bundle))
         self.hybrid_stats.bundles_sent += 1
+        if self._obs is not None:
+            self._obs.on_hybrid_bundle(
+                self.sim.now,
+                len(members),
+                self.hybrid_stats.deduplicated_entries - deduplicated_before,
+            )

@@ -71,6 +71,7 @@ class BasicServer:
         eager: bool = False,
         timestamp_cost_ms: float = 0.0,
         liveness: Optional[LivenessConfig] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -78,6 +79,8 @@ class BasicServer:
         self.eager = eager
         self.timestamp_cost_ms = timestamp_cost_ms
         self.liveness = liveness
+        #: Optional :class:`repro.obs.Observer` (read-only telemetry).
+        self._obs = obs
         #: The global action queue; index == order number pos(a).
         self.queue: List[Action] = []
         #: pos_C per client: index of the last action sent to C
@@ -175,6 +178,9 @@ class BasicServer:
         position = len(self.queue)
         self.queue.append(action)
         self.stats.actions_serialized += 1
+        if self._obs is not None:
+            recipients = len(self.pos) if self.eager else 1
+            self._obs.on_server_relay(self.sim.now, recipients)
         if self.eager:
             # Push the new action to every client right away; the reply
             # batch below still covers anything a client may have missed

@@ -154,6 +154,7 @@ class IncompleteWorldServer:
         use_spatial_index: bool = True,
         use_writer_index: bool = True,
         liveness: Optional[LivenessConfig] = None,
+        obs=None,
     ) -> None:
         if info_bound is not None and predicate is None:
             raise ConfigurationError(
@@ -172,6 +173,9 @@ class IncompleteWorldServer:
         self.costs = costs or ServerCosts()
         self.avatar_of = avatar_of
         self.liveness = liveness
+        #: Optional :class:`repro.obs.Observer`.  Read-only telemetry:
+        #: the observer never changes costs, batches, or scheduling.
+        self._obs = obs
         self.known = KnownValuesTracker()
         self.stats = IncompleteServerStats()
         #: ActionIds already serialized (idempotent resubmission; grows
@@ -354,6 +358,8 @@ class IncompleteWorldServer:
         at their committed versions.
         """
         index = entry.pos - self._base_pos
+        obs = self._obs
+        started = obs.wall() if obs is not None else 0.0
         chain, seed = transitive_closure(
             self._entries,
             index,
@@ -363,6 +369,8 @@ class IncompleteWorldServer:
         )
         self.stats.closures_computed += 1
         cost = self.costs.closure_ms
+        if obs is not None:
+            obs.on_push_closure(self.costs.closure_ms, obs.wall() - started)
         record = self.clients.get(client_id)
         if record is not None:
             if chain and self._entries[chain[0]].pos < record.high_water:
@@ -409,6 +417,8 @@ class IncompleteWorldServer:
         if first_new >= len(self._entries):
             return
         new_count = len(self._entries) - first_new
+        obs = self._obs
+        started = obs.wall() if obs is not None else 0.0
         # Algorithm 7 indexes entries element-wise both ways; hand it a
         # list view of the deque (same QueueEntry objects, so the
         # in-place ``valid`` verdicts land in the queue).
@@ -421,6 +431,14 @@ class IncompleteWorldServer:
                 break
             self._validated_upto = entry.pos
         cost = self.costs.validate_ms * new_count
+        if obs is not None:
+            obs.on_validate(
+                self.sim.now,
+                cost,
+                new_count,
+                len(dropped_indices),
+                obs.wall() - started,
+            )
 
         notices = []
         for index in dropped_indices:
@@ -444,7 +462,17 @@ class IncompleteWorldServer:
     def _push_cycle(self) -> None:
         assert self.predicate is not None
         self.stats.push_cycles += 1
+        obs = self._obs
+        started = obs.wall() if obs is not None else 0.0
         candidates = self._push_candidates()
+        if obs is not None:
+            obs.on_push_scan(
+                self.sim.now,
+                obs.wall() - started,
+                -1 if candidates is None  # full scan: no index available
+                else sum(len(positions) for positions in candidates.values()),
+            )
+            started = obs.wall()
         batches: List[Tuple[ClientId, List[OrderedAction]]] = []
         total_cost = 0.0
         for record in self.clients.values():
@@ -463,6 +491,14 @@ class IncompleteWorldServer:
             total_cost += cost
             if batch_entries:
                 batches.append((record.client_id, batch_entries))
+        if obs is not None:
+            obs.on_push_build(
+                self.sim.now,
+                total_cost,
+                len(batches),
+                sum(len(batch_entries) for _, batch_entries in batches),
+                obs.wall() - started,
+            )
 
         def send_all() -> None:
             self._distribute_batches(

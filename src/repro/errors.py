@@ -59,3 +59,13 @@ class ActionAborted(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or engine was configured with invalid parameters."""
+
+
+class ObservabilityError(ReproError):
+    """The observability layer (:mod:`repro.obs`) was used incorrectly.
+
+    Examples: ending a trace span that was never begun, or registering
+    the same histogram twice with different bucket boundaries.  These
+    are instrumentation bugs — observability never raises for anything
+    the *simulated* system does.
+    """

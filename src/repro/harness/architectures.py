@@ -108,11 +108,15 @@ def build_engine(
     architecture: str,
     settings: SimulationSettings,
     world: ManhattanWorld = None,
+    *,
+    obs=None,
 ) -> Engine:
     """Assemble a ready-to-run engine for ``architecture``.
 
     ``world`` may be passed in to share one (expensively indexed) wall
-    field across several runs of the same settings.
+    field across several runs of the same settings.  ``obs`` is an
+    optional :class:`repro.obs.Observer` threaded through every layer of
+    the built engine; ``None`` keeps the unobserved code paths.
     """
     if world is None:
         world = build_world(settings)
@@ -137,6 +141,7 @@ def build_engine(
             reliability=reliability,
             retry=retry,
             liveness=liveness,
+            obs=obs,
         )
         return SeveEngine(world, settings.num_clients, config)
     baseline_config = BaselineConfig(
@@ -147,6 +152,7 @@ def build_engine(
         reliability=reliability,
         retry=retry,
         liveness=liveness,
+        obs=obs,
     )
     if architecture == "central":
         return CentralEngine(

@@ -100,6 +100,26 @@ class SimulationSettings:
     #: Hard cap on post-workload drain time.
     drain_ms: float = 120_000.0
 
+    # -- observability (docs/observability.md) -----------------------------
+    #: Write a Chrome ``trace_event`` JSON file here (``--trace-out``);
+    #: ``None`` disables tracing entirely.
+    trace_out: Optional[str] = None
+    #: Write the metrics-registry JSON export here (``--metrics-out``).
+    metrics_out: Optional[str] = None
+    #: Collect the per-phase count/sim-ms/wall-ms breakdown
+    #: (``--profile``).  Off by default: wall-clock sampling is the one
+    #: observability cost worth gating.
+    profile: bool = False
+
+    @property
+    def wants_observer(self) -> bool:
+        """Whether any observability output is requested."""
+        return (
+            self.trace_out is not None
+            or self.metrics_out is not None
+            or self.profile
+        )
+
     def __post_init__(self) -> None:
         if self.cost_model not in ("fixed", "walls"):
             raise ConfigurationError(f"unknown cost model {self.cost_model!r}")

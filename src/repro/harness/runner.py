@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.core.engine import SeveEngine
 from repro.harness.architectures import build_engine, build_world
@@ -77,6 +77,9 @@ class RunResult:
     retransmissions: int = 0
     #: Clients the server's liveness sweep presumed dead (Section III-C).
     clients_evicted: int = 0
+    #: Per-phase breakdown (``--profile``): phase name ->
+    #: {count, sim_ms, wall_ms}.  ``None`` when profiling was off.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     @property
     def closure_overhead_percent(self) -> float:
@@ -97,12 +100,25 @@ def run_simulation(
     *,
     world: Optional[ManhattanWorld] = None,
     check_consistency: bool = True,
+    obs=None,
 ) -> RunResult:
-    """Run one architecture under the Table I workload and measure it."""
+    """Run one architecture under the Table I workload and measure it.
+
+    ``obs`` is an optional pre-built :class:`repro.obs.Observer`; when
+    ``None``, one is constructed automatically if the settings request
+    any observability output (``trace_out``/``metrics_out``/``profile``)
+    and the requested exports are written at the end of the run.
+    """
     started = time.perf_counter()
+    if obs is None and settings.wants_observer:
+        from repro.obs import Observer
+
+        obs = Observer(
+            trace=settings.trace_out is not None, profile=settings.profile
+        )
     if world is None:
         world = build_world(settings)
-    engine = build_engine(architecture, settings, world)
+    engine = build_engine(architecture, settings, world, obs=obs)
     workload = MoveWorkload(engine, world, settings)
 
     plan = settings.fault_plan
@@ -169,6 +185,20 @@ def run_simulation(
     clients_evicted = getattr(server_stats, "clients_evicted", 0) or getattr(
         engine, "liveness_evictions", 0
     )
+    profile = None
+    if obs is not None:
+        obs.record_run_summary(
+            meter=meter,
+            response_samples=engine.response_times.samples,
+            virtual_ms=engine.sim.now,
+            events=engine.sim.dispatched,
+        )
+        if settings.trace_out is not None and obs.trace is not None:
+            obs.trace.write_chrome(settings.trace_out)
+        if settings.metrics_out is not None:
+            obs.metrics.write_json(settings.metrics_out)
+        if obs.profile is not None:
+            profile = obs.profile.as_dict()
     return RunResult(
         architecture=architecture,
         settings=settings,
@@ -191,6 +221,7 @@ def run_simulation(
         messages_duplicated=meter.messages_duplicated,
         retransmissions=meter.retransmissions,
         clients_evicted=clients_evicted,
+        profile=profile,
     )
 
 

@@ -92,6 +92,57 @@ def fault_rows(result) -> List[List[Cell]]:
     ]
 
 
+def profile_rows(profile: dict) -> List[List[Cell]]:
+    """Per-phase breakdown rows from a :attr:`RunResult.profile` dict.
+
+    Phases follow the ``layer.component[.step]`` naming convention of
+    docs/observability.md; rows come out phase-name sorted with the
+    count, attributed simulated milliseconds, and measured wall-clock
+    milliseconds.
+
+    >>> rows = profile_rows({
+    ...     "sim.dispatch": {"count": 12, "sim_ms": 0.0, "wall_ms": 0.25},
+    ...     "client.apply": {"count": 3, "sim_ms": 28.02, "wall_ms": 0.0},
+    ... })
+    >>> rows[0]
+    ['client.apply', 3, 28.02, 0.0]
+    >>> len(rows)
+    2
+    """
+    return [
+        [phase, entry["count"], entry["sim_ms"], entry["wall_ms"]]
+        for phase, entry in sorted(profile.items())
+    ]
+
+
+def profile_table(profile: dict, title: str = "Per-phase breakdown") -> Table:
+    """The ``--profile`` breakdown as a renderable :class:`Table`.
+
+    >>> table = profile_table({
+    ...     "server.push.closure": {"count": 2, "sim_ms": 0.08, "wall_ms": 0.01},
+    ... })
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    Per-phase breakdown
+    -------------------------------------------
+    phase                count  sim ms  wall ms
+    -------------------------------------------
+    server.push.closure      2    0.08     0.01
+    -------------------------------------------
+    note: sim ms = virtual time attributed to the phase; wall ms = host execution time
+    """
+    table = Table(
+        title,
+        ["phase", "count", "sim ms", "wall ms"],
+        note=(
+            "sim ms = virtual time attributed to the phase; "
+            "wall ms = host execution time"
+        ),
+    )
+    for row in profile_rows(profile):
+        table.add_row(*row)
+    return table
+
+
 def series_table(
     title: str,
     x_name: str,

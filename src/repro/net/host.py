@@ -41,12 +41,16 @@ class Host:
         host_id: ClientId,
         *,
         speed_factor: float = 1.0,
+        obs=None,
     ) -> None:
         if speed_factor <= 0:
             raise SimulationError(f"speed_factor must be positive, got {speed_factor}")
         self.sim = sim
         self.host_id = host_id
         self.speed_factor = speed_factor
+        #: Optional :class:`repro.obs.Observer` recording each serviced
+        #: work item (span + queue-delay histogram); never affects costs.
+        self._obs = obs
         self._queue: Deque[_WorkItem] = deque()
         self._busy_until: TimeMs = 0.0
         self._running = False
@@ -87,12 +91,18 @@ class Host:
         self._running = True
         item = self._queue.popleft()
         scaled = item.cost_ms * self.speed_factor
-        self.total_queue_delay += self.sim.now - item.enqueued_at
-        self._busy_until = self.sim.now + scaled
+        started_at = self.sim.now
+        queue_delay = started_at - item.enqueued_at
+        self.total_queue_delay += queue_delay
+        self._busy_until = started_at + scaled
 
         def finish() -> None:
             self.cpu_time_used += scaled
             self.items_completed += 1
+            if self._obs is not None:
+                self._obs.on_host_service(
+                    self.host_id, started_at, scaled, queue_delay
+                )
             item.run()
             self._start_next()
 

@@ -95,6 +95,7 @@ class Network:
         server_bandwidth_bps: Optional[float] = None,
         faults: Optional[FaultInjector] = None,
         reliability: Optional[ReliabilityConfig] = None,
+        obs=None,
     ) -> None:
         """Create a network whose client<->server one-way latency is
         ``rtt_ms / 2`` (the paper assumes symmetric halves of the RTT).
@@ -118,6 +119,9 @@ class Network:
         self.server_bandwidth_bps = server_bandwidth_bps
         self.faults = faults
         self.reliability = reliability
+        #: Optional :class:`repro.obs.Observer`, propagated to every
+        #: link this network creates; also records ARQ retransmissions.
+        self._obs = obs
         self.meter = TrafficMeter()
         self._handlers: Dict[ClientId, Handler] = {}
         self._links: Dict[Tuple[ClientId, ClientId], Link] = {}
@@ -158,6 +162,7 @@ class Network:
             SERVER_ID,
             latency_ms=self.one_way_ms,
             bandwidth_bps=self.bandwidth_bps,
+            obs=self._obs,
         )
         self._links[(SERVER_ID, host_id)] = Link(
             self.sim,
@@ -165,6 +170,7 @@ class Network:
             host_id,
             latency_ms=self.one_way_ms,
             bandwidth_bps=self.server_bandwidth_bps or self.bandwidth_bps,
+            obs=self._obs,
         )
 
     def unregister(self, host_id: ClientId) -> None:
@@ -253,6 +259,7 @@ class Network:
                     dst,
                     latency_ms=self.one_way_ms,
                     bandwidth_bps=self.bandwidth_bps,
+                    obs=self._obs,
                 )
                 self._links[(src, dst)] = link
                 return link
@@ -412,6 +419,8 @@ class Network:
             # abandoned sequence number.
             del channel.unacked[head]
             self.meter.note_abandoned()
+            if self._obs is not None:
+                self._obs.on_arq_abandoned(src, dst, self.sim.now)
             new_base = (
                 next(iter(channel.unacked)) if channel.unacked else channel.next_seq
             )
@@ -419,6 +428,8 @@ class Network:
         else:
             entry[2] += 1
             self.meter.note_retransmit()
+            if self._obs is not None:
+                self._obs.on_arq_retransmit(src, dst, self.sim.now, head)
             base = next(iter(channel.unacked))
             self._send_raw(
                 src, dst, _Packet(head, base, entry[0]), entry[1] + config.header_bytes

@@ -87,12 +87,17 @@ class Simulator:
     the paper's reporting unit.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, obs=None) -> None:
+        """``obs`` is an optional :class:`repro.obs.Observer`; when
+        attached, every dispatch is counted (and wall-timed under
+        profiling).  ``None`` — the default — takes the identical
+        unobserved code path."""
         self._now: TimeMs = 0.0
         self._queue: List[_HeapEntry] = []
         self._seq = itertools.count()
         self._dispatched = 0
         self._live = 0
+        self._obs = obs
 
     @property
     def now(self) -> TimeMs:
@@ -145,7 +150,13 @@ class Simulator:
             self._live -= 1
             self._now = time
             self._dispatched += 1
-            callback()
+            obs = self._obs
+            if obs is None:
+                callback()
+            else:
+                started = obs.wall()
+                callback()
+                obs.on_dispatch(obs.wall() - started)
             return True
         return False
 

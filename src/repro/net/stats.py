@@ -82,6 +82,30 @@ class TrafficMeter:
         """The reliable transport gave up on one packet."""
         self.messages_abandoned += 1
 
+    def export_metrics(self, registry) -> None:
+        """Fold the meter's totals into a
+        :class:`repro.obs.MetricsRegistry` under ``traffic.*`` names.
+
+        >>> from repro.obs import MetricsRegistry
+        >>> meter = TrafficMeter()
+        >>> meter.record("c1", "server", 120)
+        >>> meter.note_retransmit()
+        >>> registry = MetricsRegistry()
+        >>> meter.export_metrics(registry)
+        >>> registry.counter("traffic.bytes").value
+        120
+        >>> registry.counter("traffic.retransmissions").value
+        1
+        """
+        registry.counter("traffic.bytes").inc(self.total_bytes)
+        registry.counter("traffic.messages").inc(self.total_messages)
+        registry.counter("traffic.dropped").inc(self.messages_dropped)
+        registry.counter("traffic.bytes_dropped").inc(self.bytes_dropped)
+        registry.counter("traffic.undelivered").inc(self.messages_undelivered)
+        registry.counter("traffic.duplicated").inc(self.messages_duplicated)
+        registry.counter("traffic.retransmissions").inc(self.retransmissions)
+        registry.counter("traffic.abandoned").inc(self.messages_abandoned)
+
     @property
     def total_kb(self) -> float:
         """Total traffic in kilobytes (paper's Figure 9 unit)."""

@@ -1,0 +1,268 @@
+"""Typed metrics: counters, gauges, and fixed-bucket histograms.
+
+The registry is the quantitative half of :mod:`repro.obs`.  Everything
+here is deterministic by construction: histogram bucket boundaries are
+fixed at registration time (never adapted to the data), so two runs of
+the same seeded simulation produce byte-identical metric exports — the
+contract docs/observability.md calls the *determinism contract*.
+
+Instruments are cheap plain-attribute accumulators; none of them ever
+touches the simulator, the network, or any RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import pathlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+#: Default latency-shaped boundaries (ms): each bucket holds values
+#: ``<= bound``; an implicit overflow bucket catches the rest.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+    500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+#: Default size-shaped boundaries (bytes).
+SIZE_BUCKETS_BYTES: Tuple[float, ...] = (
+    16.0, 64.0, 256.0, 1_024.0, 4_096.0, 16_384.0, 65_536.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count.
+
+    >>> c = Counter("net.messages")
+    >>> c.inc()
+    >>> c.inc(4)
+    >>> c.value
+    5
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins measurement.
+
+    >>> g = Gauge("server.queue_length")
+    >>> g.set(12.5)
+    >>> g.value
+    12.5
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value of the measured quantity."""
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A histogram over **fixed** bucket boundaries.
+
+    Bucket ``i`` counts samples with ``bounds[i-1] < x <= bounds[i]``
+    (the first bucket has no lower bound); one implicit overflow bucket
+    counts samples above the last boundary.  Boundaries never adapt to
+    the data, so the shape of the export depends only on the samples —
+    not on their order or on any host property.
+
+    >>> h = Histogram("response_ms", (10.0, 100.0))
+    >>> for sample in (3.0, 10.0, 99.0, 250.0):
+    ...     h.record(sample)
+    >>> h.counts          # <=10, <=100, overflow
+    [2, 1, 1]
+    >>> h.count, h.total
+    (4, 362.0)
+    >>> round(h.quantile(0.5), 1)    # upper bound of the median's bucket
+    10.0
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "_min", "_max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ObservabilityError(f"histogram {name!r} needs >= 1 boundary")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ObservabilityError(
+                f"histogram {name!r} boundaries must be strictly ascending"
+            )
+        self.name = name
+        self.bounds = ordered
+        #: One slot per boundary plus the trailing overflow bucket.
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Add every sample in ``values``."""
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all samples (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket boundary containing the ``q``-quantile sample.
+
+        Bucketed quantiles are conservative (rounded up to a boundary);
+        the overflow bucket reports the maximum observed sample.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self._max
+        return self._max
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": None if self.count == 0 else self._min,
+            "max": None if self.count == 0 else self._max,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named home of every instrument in one observed run.
+
+    Instruments are created on first use and re-fetched thereafter, so
+    instrumentation sites don't need setup code:
+
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("net.messages").inc(3)
+    >>> registry.counter("net.messages").value
+    3
+    >>> registry.histogram("rtt_ms", bounds=(50.0, 500.0)).record(238.0)
+    >>> registry.to_dict()["rtt_ms"]["counts"]
+    [0, 1, 0]
+
+    Re-registering a histogram with different boundaries is an error
+    (silently changing buckets would corrupt the export):
+
+    >>> registry.histogram("rtt_ms", bounds=(1.0,))
+    Traceback (most recent call last):
+        ...
+    repro.errors.ObservabilityError: histogram 'rtt_ms' already registered with different bounds
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS_MS
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``bounds`` must match on every re-registration of ``name``.
+        """
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, bounds)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, Histogram):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(instrument).__name__}, not a histogram"
+            )
+        if instrument.bounds != tuple(float(b) for b in bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} already registered with different bounds"
+            )
+        return instrument
+
+    def _get(self, name: str, kind: type, make) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = make()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ObservabilityError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__.lower()}"
+            )
+        return instrument
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument called ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def to_dict(self) -> Dict[str, dict]:
+        """Every instrument as plain JSON-serialisable data, by name."""
+        return {
+            name: self._instruments[name].to_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def write_json(self, path) -> None:
+        """Write the registry as pretty-printed JSON to ``path``."""
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        pathlib.Path(path).write_text(text + "\n")

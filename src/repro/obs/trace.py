@@ -1,0 +1,219 @@
+"""Structured trace recording keyed on virtual time.
+
+A :class:`TraceRecorder` collects *spans* (begin/end or complete) and
+*instant events*, each stamped with the simulator's virtual clock
+(milliseconds).  Recording is append-only bookkeeping: the recorder
+never schedules events, never reads wall clocks, and never perturbs the
+run it observes (docs/observability.md's determinism contract).
+
+Two export formats:
+
+* **Chrome ``trace_event`` JSON** (:meth:`TraceRecorder.to_chrome`,
+  :meth:`write_chrome`) — load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to see per-host timelines of the simulated
+  run.  Virtual milliseconds are exported as trace microseconds, so the
+  viewer's "1 ms" reads as one virtual millisecond at 1000x zoom.
+* **JSONL** (:meth:`write_jsonl`) — one event object per line, for
+  ad-hoc ``jq``/pandas analysis.
+
+Tracks ("threads" in the viewer) are named, not numbered: each event
+carries a track label like ``"host-3"`` or ``"server"``, and the Chrome
+export maps labels to integer tids plus ``thread_name`` metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.errors import ObservabilityError
+from repro.types import TimeMs
+
+#: The default track for events not tied to a particular host.
+DEFAULT_TRACK = "run"
+
+
+class TraceRecorder:
+    """Span/instant event recorder over the virtual clock.
+
+    Spans nest per track: :meth:`end` always closes the innermost open
+    span of its track, and mismatches raise — a trace whose spans don't
+    nest is unreadable in every viewer.
+
+    >>> trace = TraceRecorder()
+    >>> trace.begin("push_cycle", 100.0, track="server")
+    >>> trace.begin("closure", 100.0, track="server", args={"pos": 7})
+    >>> trace.end(100.0, track="server")
+    >>> trace.end(105.0, track="server")
+    >>> trace.instant("retry", 250.0, track="client-3")
+    >>> [event["ph"] for event in trace.events]
+    ['B', 'B', 'E', 'E', 'i']
+    >>> trace.open_spans()
+    0
+    >>> trace.end(300.0, track="server")
+    Traceback (most recent call last):
+        ...
+    repro.errors.ObservabilityError: end() on track 'server' with no open span
+    """
+
+    def __init__(self) -> None:
+        #: Recorded events, in recording order.  Each is a dict with at
+        #: least ``ph`` (phase), ``ts`` (virtual ms) and ``track``.
+        self.events: List[dict] = []
+        self._stacks: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        ts: TimeMs,
+        *,
+        track: str = DEFAULT_TRACK,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Open a span called ``name`` at virtual time ``ts`` (ms)."""
+        event = {"name": name, "ph": "B", "ts": float(ts), "track": track}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+        self._stacks.setdefault(track, []).append(name)
+
+    def end(self, ts: TimeMs, *, track: str = DEFAULT_TRACK) -> None:
+        """Close the innermost open span on ``track`` at ``ts`` (ms)."""
+        stack = self._stacks.get(track)
+        if not stack:
+            raise ObservabilityError(
+                f"end() on track {track!r} with no open span"
+            )
+        name = stack.pop()
+        self.events.append(
+            {"name": name, "ph": "E", "ts": float(ts), "track": track}
+        )
+
+    def complete(
+        self,
+        name: str,
+        ts: TimeMs,
+        dur: TimeMs,
+        *,
+        track: str = DEFAULT_TRACK,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a whole span at once: ``[ts, ts + dur]`` on ``track``."""
+        if dur < 0:
+            raise ObservabilityError(f"span {name!r} has negative duration {dur}")
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": float(ts),
+            "dur": float(dur),
+            "track": track,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        ts: TimeMs,
+        *,
+        track: str = DEFAULT_TRACK,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a zero-duration marker at ``ts`` on ``track``."""
+        event = {"name": name, "ph": "i", "ts": float(ts), "track": track}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def open_spans(self) -> int:
+        """Number of begun-but-not-ended spans across all tracks."""
+        return sum(len(stack) for stack in self._stacks.values())
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome ``trace_event`` JSON object.
+
+        Virtual milliseconds become trace microseconds (the format's
+        unit).  Track labels become integer tids, announced with
+        ``thread_name`` metadata so viewers show the labels.
+        """
+        tids: Dict[str, int] = {}
+        trace_events: List[dict] = []
+        for event in self.events:
+            track = event["track"]
+            tid = tids.get(track)
+            if tid is None:
+                tid = len(tids) + 1
+                tids[track] = tid
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 1,
+                        "tid": tid,
+                        "args": {"name": track},
+                    }
+                )
+            out = {
+                "name": event["name"],
+                "ph": event["ph"],
+                "ts": event["ts"] * 1000.0,  # virtual ms -> trace µs
+                "pid": 1,
+                "tid": tid,
+            }
+            if event["ph"] == "X":
+                out["dur"] = event["dur"] * 1000.0
+            if event["ph"] == "i":
+                out["s"] = "t"  # thread-scoped instant
+            if "args" in event:
+                out["args"] = event["args"]
+            trace_events.append(out)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path) -> None:
+        """Write :meth:`to_chrome` JSON to ``path`` (open in Perfetto)."""
+        text = json.dumps(self.to_chrome(), indent=1)
+        pathlib.Path(path).write_text(text + "\n")
+
+    def write_jsonl(self, path) -> None:
+        """Write one JSON object per recorded event to ``path``."""
+        lines = [json.dumps(event) for event in self.events]
+        pathlib.Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_chrome(path) -> List[dict]:
+    """Read back a :meth:`TraceRecorder.write_chrome` file.
+
+    Returns the recorder-shaped event list (virtual-ms timestamps,
+    ``track`` labels restored from the thread metadata), which makes
+    export round-trips testable and traces greppable after the fact.
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    tracks: Dict[int, str] = {}
+    events: List[dict] = []
+    for event in payload["traceEvents"]:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            tracks[event["tid"]] = event["args"]["name"]
+            continue
+        restored = {
+            "name": event["name"],
+            "ph": event["ph"],
+            "ts": event["ts"] / 1000.0,  # trace µs -> virtual ms
+            "track": tracks.get(event.get("tid"), DEFAULT_TRACK),
+        }
+        if event["ph"] == "X":
+            restored["dur"] = event["dur"] / 1000.0
+        if "args" in event:
+            restored["args"] = event["args"]
+        events.append(restored)
+    return events
