@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Test driver: docs lint + doctests + fast tier-1 suite first, then the
+# Test driver: lints + doctests + fast tier-1 suite first, then the
 # slow fault-injection matrix (docs/fault_model.md).
 #
 # Usage:
-#   scripts/test.sh            everything: lint, doctests, fast suite,
-#                              slow differentials, fault matrix
-#   scripts/test.sh --fast     lint, doctests, fast suite (pre-commit gate)
+#   scripts/test.sh            everything: lints, doctests, fast suite,
+#                              sharded smoke run, slow differentials,
+#                              fault matrix
+#   scripts/test.sh --fast     lints, doctests, fast suite (pre-commit gate)
 #   scripts/test.sh --faults   fault matrix only (-m faults)
 #
 # The fault matrix replays degraded-network and churn scenarios (loss,
@@ -16,13 +17,47 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+# Determinism lint: the simulation must be a pure function of its
+# seeds, so wall-clock reads and unseeded RNGs are banned from the
+# library (tests/benchmarks may use them).  Iterating a set literal is
+# banned too: at these sizes order is insertion order in CPython, but
+# relying on that is exactly the kind of thing that breaks replay.
+determinism_lint() {
+  local bad=0
+  if grep -rn --include='*.py' -E 'time\.time\(\)|time\.monotonic\(\)' src/repro/; then
+    echo 'determinism lint: wall-clock read in src/repro (use the simulator clock)' >&2
+    bad=1
+  fi
+  if grep -rn --include='*.py' -E 'random\.(random|randint|choice|shuffle|uniform)\(' src/repro/; then
+    echo 'determinism lint: module-level random.* call in src/repro (use a seeded Random)' >&2
+    bad=1
+  fi
+  if grep -rn --include='*.py' -E 'random\.Random\(\)' src/repro/; then
+    echo 'determinism lint: unseeded random.Random() in src/repro' >&2
+    bad=1
+  fi
+  if grep -rn --include='*.py' -E 'for [A-Za-z_, ]+ in \{[^}:]*\}:' src/repro/; then
+    echo 'determinism lint: iteration over a set literal in src/repro (order is not part of the language contract)' >&2
+    bad=1
+  fi
+  return "$bad"
+}
+
 # Documentation lint (links resolve; docs/index.md covers docs/*.md)
 # and the executable examples embedded in docstrings.
 lint_and_doctests() {
+  determinism_lint
   python scripts/docs_lint.py
   python -m pytest -x -q --doctest-modules \
     src/repro/obs src/repro/metrics/report.py src/repro/net/stats.py \
     scripts/docs_lint.py
+}
+
+# End-to-end smoke of the sharded deployment through the real CLI (the
+# cross-shard audit runs inside and fails the exit code on violations).
+sharded_smoke() {
+  python -m repro run seve --clients 8 --walls 0 --moves 10 --shards 2 \
+    --seed 7 >/dev/null
 }
 
 case "${1:-}" in
@@ -36,6 +71,7 @@ case "${1:-}" in
   *)
     lint_and_doctests
     python -m pytest -x -q -m "not slow"
+    sharded_smoke
     python -m pytest -x -q -m "slow and not faults"
     python -m pytest -x -q -m faults
     ;;

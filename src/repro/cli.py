@@ -21,7 +21,7 @@ from repro.harness import experiments
 from repro.harness.architectures import ARCHITECTURES
 from repro.harness.config import SimulationSettings
 from repro.harness.runner import run_simulation
-from repro.metrics.report import Table, fault_rows, profile_table
+from repro.metrics.report import Table, fault_rows, profile_table, shard_table
 from repro.net.faults import FaultPlan, parse_crash_plan
 
 #: Experiment name -> driver.
@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--omega", type=float, default=0.5)
     run.add_argument("--threshold", type=float, default=None)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--shards", type=int, default=1,
+        help="shard servers partitioning the world into vertical stripes "
+        "(docs/sharding.md); requires a push-mode SEVE architecture",
+    )
     run.add_argument(
         "--no-consistency-check", action="store_true",
         help="skip the Theorem 1 sweep at quiescence",
@@ -146,6 +151,7 @@ def _command_run(args: argparse.Namespace) -> int:
         omega=args.omega,
         threshold=args.threshold,
         seed=args.seed,
+        shards=args.shards,
         fault_plan=_fault_plan(args),
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
@@ -168,12 +174,17 @@ def _command_run(args: argparse.Namespace) -> int:
     table.add_row("avg visible avatars", result.avg_visible)
     if result.consistency is not None:
         table.add_row("consistency", result.consistency.summary())
+    if result.shard_audit is not None:
+        table.add_row("cross-shard audit", result.shard_audit.summary())
     if settings.fault_plan is not None:
         for metric, value in fault_rows(result):
             table.add_row(metric, value)
     table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
     table.add_row("wall time (s)", result.wall_seconds)
     print(table.render())
+    if result.shard_rows is not None:
+        print()
+        print(shard_table(result).render())
     if result.profile is not None:
         print()
         print(profile_table(result.profile).render())
@@ -182,6 +193,8 @@ def _command_run(args: argparse.Namespace) -> int:
     if settings.metrics_out is not None:
         print(f"metrics written to {settings.metrics_out}")
     if result.consistency is not None and not result.consistency.consistent:
+        return 1
+    if result.shard_audit is not None and not result.shard_audit.consistent:
         return 1
     return 0
 

@@ -196,7 +196,13 @@ class BlindWrite(Action):
     unconditional state installation.  RS = WS = S by convention.
     """
 
-    def __init__(self, action_id: ActionId, values: ValuesDict) -> None:
+    def __init__(
+        self,
+        action_id: ActionId,
+        values: ValuesDict,
+        *,
+        origin: Optional[ActionId] = None,
+    ) -> None:
         object_ids = frozenset(values)
         super().__init__(
             action_id,
@@ -205,6 +211,11 @@ class BlindWrite(Action):
             cost_ms=0.0,
         )
         self._values: ValuesDict = {oid: dict(attrs) for oid, attrs in values.items()}
+        #: For sharded deployments: the id of the spanning action whose
+        #: committed result these values carry (``None`` for ordinary
+        #: closure-seed blind writes).  Lets receivers attribute the
+        #: values to the original action for audit purposes.
+        self.origin = origin
 
     @classmethod
     def from_server(cls, seq: int, values: ValuesDict) -> "BlindWrite":
@@ -216,8 +227,19 @@ class BlindWrite(Action):
         return {oid: dict(attrs) for oid, attrs in self._values.items()}
 
     def apply(self, store: ObjectStore) -> ActionResult:
-        """Install the values (objects need not pre-exist in the store)."""
-        store.install({oid: dict(attrs) for oid, attrs in self._values.items()})
+        """Install the values (objects need not pre-exist in the store).
+
+        Ordinary closure-seed blind writes carry *complete* committed
+        object states and replace wholesale.  Span value entries
+        (``origin`` set) carry the attributes the spanning action
+        actually wrote — a partial write that must merge over the
+        seeded object, exactly as an evaluation's write-back would.
+        """
+        values = {oid: dict(attrs) for oid, attrs in self._values.items()}
+        if self.origin is not None:
+            store.merge(values)
+        else:
+            store.install(values)
         return ActionResult.of(self._values)
 
     def values(self) -> ValuesDict:
@@ -225,6 +247,12 @@ class BlindWrite(Action):
         return {oid: dict(attrs) for oid, attrs in self._values.items()}
 
     def wire_size(self) -> int:
-        """Blind writes ship values: 16 + 8/object + 12/attribute."""
+        """Blind writes ship values: 16 + 8/object + 12/attribute
+        (+ 8 when an origin action id rides along)."""
         attr_count = sum(len(attrs) for attrs in self._values.values())
-        return 16 + 8 * len(self._values) + 12 * attr_count
+        return (
+            16
+            + 8 * len(self._values)
+            + 12 * attr_count
+            + (8 if self.origin is not None else 0)
+        )

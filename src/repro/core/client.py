@@ -32,6 +32,9 @@ from repro.core.messages import (
     ActionBatch,
     Completion,
     GroupBundle,
+    HandoffPrepare,
+    HandoffReady,
+    HandoffWelcome,
     Heartbeat,
     OrderedAction,
     PeerForward,
@@ -95,6 +98,11 @@ class ClientConfig:
     strict_stream: bool = True
     retry: Optional[RetryPolicy] = None
     retry_seed: int = 0
+    #: Record every applied stream entry (and handoff epoch boundary)
+    #: into ``client.observations`` — the raw material of the sharded
+    #: consistency audit and the shards=1 differential test.  Pure
+    #: bookkeeping: never touches the simulation schedule.
+    record_observations: bool = False
 
 
 @dataclass
@@ -131,12 +139,17 @@ class ProtocolClient:
         stable_store: ObjectStore,
         *,
         config: Optional[ClientConfig] = None,
+        server_id: ClientId = SERVER_ID,
         obs=None,
     ) -> None:
         self.sim = sim
         self.network = network
         self.host = host
         self.client_id = client_id
+        #: The serializer this client currently speaks to.  Always
+        #: :data:`SERVER_ID` in single-server deployments; a sharded
+        #: deployment re-points it at handoff time.
+        self.server_id = server_id
         self.config = config or ClientConfig()
         #: Optional :class:`repro.obs.Observer` (read-only telemetry).
         self._obs = obs
@@ -155,6 +168,18 @@ class ProtocolClient:
         self._retry_rng = random.Random(
             (self.config.retry_seed << 17) ^ (client_id * 0x9E3779B1)
         )
+        #: Observation log (``record_observations``): one tuple per
+        #: applied stream entry ``(server_id, pos, action_id, origin)``
+        #: plus ``("epoch", shard_id)`` markers at handoff boundaries.
+        self.observations: Optional[list] = (
+            [] if self.config.record_observations else None
+        )
+        # -- sharded handoff state (dormant in single-server runs) ------
+        self._migrating = False
+        self._migration_buffer: list[Action] = []
+        #: Per-shard stream dedup state parked across handoffs, so a
+        #: return to a previously visited shard keeps its positions.
+        self._stream_state: Dict[ClientId, tuple] = {}
         #: Hook: own action confirmed stable; args (action, response_ms).
         self.on_confirmed: Optional[Callable[[Action, TimeMs], None]] = None
         #: Hook: own action dropped by the server; args (action_id,).
@@ -183,10 +208,18 @@ class ProtocolClient:
             )
         self.stats.submitted += 1
         self._submit_times[action.action_id] = self.sim.now
-        message = SubmitAction(action)
-        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
-        if self.config.retry is not None:
-            self._arm_retry(action, 0)
+        if self._migrating:
+            # Mid-handoff: park the submission, flushed to the new shard
+            # on HandoffWelcome.  Optimistic bookkeeping proceeds as
+            # usual below so the local experience is seamless.
+            self._migration_buffer.append(action)
+        else:
+            message = SubmitAction(action)
+            self.network.send(
+                self.client_id, self.server_id, message, wire_size(message)
+            )
+            if self.config.retry is not None:
+                self._arm_retry(action, 0)
 
         # The queue/replica update is synchronous so that protocol state
         # is never behind the network (a backlogged CPU must not let the
@@ -218,6 +251,21 @@ class ProtocolClient:
     # Server stream handling (Algorithm 1/4 steps 3-5)
     # ------------------------------------------------------------------
     def _on_message(self, src: ClientId, payload: object) -> None:
+        if isinstance(payload, HandoffPrepare):
+            self._begin_migration(src, payload)
+            return
+        if isinstance(payload, HandoffWelcome):
+            self._complete_migration(src, payload)
+            return
+        if (
+            src < 0
+            and src != self.server_id
+            and isinstance(payload, (ActionBatch, AbortNotice))
+        ):
+            # Stale stream from a shard we have handed off from; its
+            # committed effects (if any) were reconciled at handoff
+            # time, so applying the late batch would double-apply.
+            return
         if isinstance(payload, GroupBundle):
             payload = self._relay_bundle(payload)
             if payload is None:
@@ -291,6 +339,15 @@ class ProtocolClient:
             self._applied_positions.discard(entry.pos)
             return
         action = entry.action
+        if self.observations is not None:
+            self.observations.append(
+                (
+                    self.server_id,
+                    entry.pos,
+                    action.action_id,
+                    getattr(action, "origin", None),
+                )
+            )
         if action.client_id == self.client_id:
             self._process_own_action(entry)
         else:
@@ -388,7 +445,7 @@ class ProtocolClient:
         self, action: Action, result: ActionResult, pos: int = -1
     ) -> None:
         message = Completion(pos, action.action_id, result, reporter=self.client_id)
-        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+        self.network.send(self.client_id, self.server_id, message, wire_size(message))
 
     # ------------------------------------------------------------------
     # Reconciliation (Algorithm 3)
@@ -436,6 +493,62 @@ class ProtocolClient:
             self.on_aborted(notice.action_id)
 
     # ------------------------------------------------------------------
+    # Shard handoff (sharded deployments only)
+    # ------------------------------------------------------------------
+    def _begin_migration(self, src: ClientId, prepare: HandoffPrepare) -> None:
+        """Our shard announced a handoff: stop sending it submissions
+        and acknowledge so it can quiesce our in-flight work.
+
+        The HandoffReady travels on the same FIFO channel as every
+        prior submission, so its arrival proves the shard has received
+        everything we ever sent it.
+        """
+        if src != self.server_id:
+            return  # stale prepare from a previous owner
+        self._migrating = True
+        message = HandoffReady(self.client_id)
+        self.network.send(self.client_id, self.server_id, message, wire_size(message))
+
+    def _complete_migration(self, src: ClientId, welcome: HandoffWelcome) -> None:
+        """The new shard adopted us: switch streams, drop pending
+        entries the old shard resolved, flush parked submissions."""
+        if self.observations is not None:
+            self.observations.append(("epoch", src))
+        if src != self.server_id:
+            # Swap per-shard stream dedup state: positions are local to
+            # each shard's serialization stream.
+            self._stream_state[self.server_id] = (
+                self._applied_positions,
+                self._gc_frontier,
+            )
+            self._applied_positions, self._gc_frontier = self._stream_state.pop(
+                src, (set(), -1)
+            )
+            self.server_id = src
+        extra: frozenset = frozenset()
+        for action_id in welcome.resolved:
+            removed = self.queue.remove(action_id)
+            self._submit_times.pop(action_id, None)
+            self._cancel_retry(action_id)
+            if removed is not None:
+                extra = extra | removed.writes
+        if extra:
+            # Resolved by the old shard but the echo may never reach us
+            # (its stream is stale now): undo the optimistic guesses.
+            self._reconcile(extra_writes=extra)
+        self._migrating = False
+        for action in self._migration_buffer:
+            if action.action_id not in self._submit_times:
+                continue  # resolved while parked
+            message = SubmitAction(action)
+            self.network.send(
+                self.client_id, self.server_id, message, wire_size(message)
+            )
+            if self.config.retry is not None:
+                self._arm_retry(action, 0)
+        self._migration_buffer.clear()
+
+    # ------------------------------------------------------------------
     # Reliability: resubmission and heartbeats (Section III-C)
     # ------------------------------------------------------------------
     def _arm_retry(self, action: Action, attempt: int) -> None:
@@ -459,7 +572,7 @@ class ProtocolClient:
         if self._obs is not None:
             self._obs.on_client_retry(self.client_id, self.sim.now, attempt + 1)
         message = SubmitAction(action)
-        self.network.send(self.client_id, SERVER_ID, message, wire_size(message))
+        self.network.send(self.client_id, self.server_id, message, wire_size(message))
         self._arm_retry(action, attempt + 1)
 
     def _cancel_retry(self, action_id: ActionId) -> None:
@@ -473,7 +586,7 @@ class ProtocolClient:
             return
         message = Heartbeat(self.client_id)
         self.network.send(
-            self.client_id, SERVER_ID, message, wire_size(message), reliable=False
+            self.client_id, self.server_id, message, wire_size(message), reliable=False
         )
 
     # ------------------------------------------------------------------

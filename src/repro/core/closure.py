@@ -47,6 +47,25 @@ class QueueEntry:
     completion: Optional[ActionResult] = None
     #: Clients that reported a completion (fault-tolerant mode).
     reporters: Set[ClientId] = field(default_factory=set)
+    #: Sharded deployments: this entry is a spliced *spanning* action
+    #: (its influence disc crosses shard borders; see repro.core.sharded).
+    span: bool = False
+    #: Whether this shard owns the spanning action (received the
+    #: original submission; its originator is attached here).
+    span_owner: bool = False
+    #: Global sequence number assigned by the sequencer shard (-1 for
+    #: ordinary local entries).  Splices land in gsn order on every
+    #: involved shard, which embeds all observed orders into one global
+    #: serializable order.
+    gsn: int = -1
+    #: The shard indices this spanning action was spliced into (empty
+    #: for local entries).  The owner uses it to broadcast the result.
+    span_involved: Tuple[int, ...] = ()
+    #: Committed result of the spanning action, once known (set from the
+    #: originator's completion on the owner, from SpanResult on peers).
+    #: Until it arrives, non-originators cannot be sent this entry —
+    #: they receive its *values*, not its code.
+    span_result: Optional[ActionResult] = None
 
     @property
     def committed_ready(self) -> bool:
@@ -72,6 +91,21 @@ class QueueEntry:
         self.reporters.add(reporter)
 
 
+def _is_span_value(entry: QueueEntry, client_id: ClientId) -> bool:
+    """Whether ``entry`` reaches ``client_id`` as a *value* entry.
+
+    A spliced spanning action is evaluated only by its originator (on
+    the owner shard); every other client receives its committed result
+    as a positioned blind write.  A value entry cannot be sent before
+    the result is known; once known it walks like a normal entry — its
+    reads still fold into the seed, because the result carries only the
+    attributes the action actually wrote, and the underlying objects
+    must reach the client complete (via the blind-write seed) before
+    the partial result values land on top.
+    """
+    return entry.span and entry.action.client_id != client_id
+
+
 def transitive_closure(
     entries: Sequence[QueueEntry],
     candidate_index: int,
@@ -79,7 +113,7 @@ def transitive_closure(
     *,
     writer_index=None,
     base_pos: int = 0,
-) -> Tuple[List[int], frozenset[ObjectId]]:
+) -> Tuple[Optional[List[int]], frozenset[ObjectId]]:
     """Algorithm 6 for ``entries[candidate_index]`` and client C.
 
     ``entries`` is the live (uncommitted) queue suffix, oldest first.
@@ -89,6 +123,17 @@ def transitive_closure(
     blind write must carry.  Marks every returned entry as sent to C
     (including the candidate), mirroring the in-place ``sent(a)``
     updates of the paper's pseudocode.
+
+    Spanning actions (sharded deployments) change the walk in one way:
+    an entry that reaches C as a value entry (see :func:`_is_span_value`)
+    whose committed result is not known yet defers the *whole* closure —
+    the walk unwinds its sent marks and returns ``(None, ∅)`` so the
+    server retries later.  Partial delivery is not an option, because
+    skipping the span entry would let C evaluate younger chain members
+    against pre-span values.  Once the result is known the value entry
+    walks exactly like a normal entry (reads fold into the seed): the
+    result blind-write carries only the attributes actually written, so
+    the objects underneath must still reach C complete via the seed.
 
     When the server supplies its :class:`~repro.core.indexes.WriterIndex`
     (with ``base_pos`` = the queue position of ``entries[0]``), the walk
@@ -104,6 +149,8 @@ def transitive_closure(
         raise ProtocolError(
             f"closure candidate pos {candidate.pos} already sent to {client_id}"
         )
+    if _is_span_value(candidate, client_id) and candidate.span_result is None:
+        return None, frozenset()  # result not yet known: defer
     accumulated: Set[ObjectId] = set(candidate.action.reads)
     chain: List[int] = [candidate_index]
     if writer_index is None:
@@ -118,6 +165,10 @@ def transitive_closure(
                 continue
             if client_id in entry.sent:
                 accumulated -= action.writes
+            elif _is_span_value(entry, client_id) and entry.span_result is None:
+                for index in chain[1:]:
+                    entries[index].sent.discard(client_id)
+                return None, frozenset()
             else:
                 accumulated |= action.reads
                 chain.append(j)
@@ -141,6 +192,10 @@ def transitive_closure(
                 continue  # writer of an oid meanwhile removed from S
             if client_id in entry.sent:
                 accumulated -= action.writes
+            elif _is_span_value(entry, client_id) and entry.span_result is None:
+                for index in chain[1:]:
+                    entries[index].sent.discard(client_id)
+                return None, frozenset()
             else:
                 accumulated |= action.reads
                 chain.append(best - base_pos)

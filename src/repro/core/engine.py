@@ -113,6 +113,11 @@ class SeveConfig:
     retry: Optional[RetryPolicy] = None
     #: Server-side heartbeat eviction (Section III-C).
     liveness: Optional[LivenessConfig] = None
+    #: Record every applied stream entry into ``client.observations``
+    #: (see :class:`repro.core.client.ClientConfig.record_observations`)
+    #: — input to the sharded consistency audit and differential tests.
+    #: Pure bookkeeping; never changes scheduling or results.
+    record_observations: bool = False
     #: Optional :class:`repro.obs.Observer` threaded through every
     #: component (simulator, network, hosts, server, clients).  Excluded
     #: from equality/repr: telemetry is not part of the experiment
@@ -257,13 +262,14 @@ class SeveEngine:
                 )
             )
 
-    def _attach_client(
+    def _client_config(
         self, client_id: ClientId, interests: Optional[frozenset[str]]
-    ) -> None:
-        host = Host(self.sim, client_id, obs=self.obs)
+    ) -> ClientConfig:
+        """Build a client's protocol configuration (hook: the sharded
+        engine relaxes stream strictness for cross-shard re-attachment)."""
         incomplete = self.config.mode != "basic"
         plan = self.config.fault_plan
-        client_config = ClientConfig(
+        return ClientConfig(
             send_completions=incomplete,
             report_all_completions=incomplete and self.config.fault_tolerant,
             eval_overhead_ms=self.config.eval_overhead_ms,
@@ -271,7 +277,21 @@ class SeveEngine:
             strict_stream=self.faults is None,
             retry=self.config.retry,
             retry_seed=plan.seed if plan is not None else 0,
+            record_observations=self.config.record_observations,
         )
+
+    def _home_server(self, client_id: ClientId):
+        """The serializer a client initially attaches to, as
+        ``(server, host_id)`` (hook: the sharded engine assigns the
+        shard owning the client's spawn region)."""
+        return self.server, SERVER_ID
+
+    def _attach_client(
+        self, client_id: ClientId, interests: Optional[frozenset[str]]
+    ) -> None:
+        host = Host(self.sim, client_id, obs=self.obs)
+        incomplete = self.config.mode != "basic"
+        client_config = self._client_config(client_id, interests)
         # Basic-mode clients replicate the full initial state; incomplete
         # clients start from what they can see — their own avatar — and
         # grow their replica from server blind writes (unless the
@@ -281,6 +301,7 @@ class SeveEngine:
             stable = self._partial_initial_state(client_id)
         else:
             stable = self.state.snapshot()
+        server, server_id = self._home_server(client_id)
         client = ProtocolClient(
             self.sim,
             self.network,
@@ -288,16 +309,17 @@ class SeveEngine:
             client_id,
             stable,
             config=client_config,
+            server_id=server_id,
             obs=self.obs,
         )
         client.on_confirmed = self._make_confirm_hook(client_id)
         client.on_aborted = self._make_abort_hook(client_id)
         self.clients[client_id] = client
         self.client_hosts[client_id] = host
-        if isinstance(self.server, BasicServer):
-            self.server.attach_client(client_id)
+        if isinstance(server, BasicServer):
+            server.attach_client(client_id)
         else:
-            self.server.attach_client(
+            server.attach_client(
                 client_id,
                 radius=self.world.client_radius(client_id),
                 interests=interests,

@@ -135,6 +135,12 @@ class InformationBound:
         dropped: List[int] = []
         for index in range(first_new_index, len(entries)):
             entry = entries[index]
+            if entry.valid is not None:
+                # Pre-decided entry inside the new window — a spliced
+                # spanning action arrives validated (the sequencer's gsn
+                # order, not local chain geometry, admits it).  Skip it;
+                # it still participates in later entries' chains.
+                continue
             admitted = self._admit(entries, index)
             if admitted:
                 entry.valid = True

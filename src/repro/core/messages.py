@@ -135,6 +135,93 @@ class RelayedAction:
     submitted_at: TimeMs = 0.0
 
 
+# ----------------------------------------------------------------------
+# Sharded deployment (repro.core.sharded): cross-shard forwarding,
+# splicing, result distribution, and client handoff.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanForward:
+    """Owner shard -> sequencer: a spanning action awaiting a global
+    sequence number.  ``involved`` names every shard whose region the
+    action's influence disc intersects (owner included)."""
+
+    owner: int
+    involved: Tuple[int, ...]
+    action: Action
+
+
+@dataclass(frozen=True)
+class SpanSplice:
+    """Sequencer -> involved shards: splice this spanning action into
+    your local stream at your next position.  Splices are broadcast in
+    strictly ascending ``gsn`` order over FIFO backbone links, which is
+    what makes every shard agree on the relative order of spanning
+    actions."""
+
+    gsn: int
+    owner: int
+    involved: Tuple[int, ...]
+    action: Action
+
+
+@dataclass(frozen=True)
+class SpanResult:
+    """Owner shard -> involved peers: the committed result of a
+    spanning action (the originator's completion, relayed)."""
+
+    gsn: int
+    action_id: ActionId
+    result: ActionResult
+
+
+@dataclass(frozen=True)
+class SpanAbort:
+    """Owner shard -> involved peers: the spanning action was aborted
+    (orphaned or dropped); peers mark their spliced entry invalid."""
+
+    gsn: int
+    action_id: ActionId
+
+
+@dataclass(frozen=True)
+class HandoffPrepare:
+    """Shard -> client: your region owner is changing; stop submitting
+    to me and acknowledge with :class:`HandoffReady`."""
+
+    new_shard: int
+
+
+@dataclass(frozen=True)
+class HandoffReady:
+    """Client -> old shard: I have stopped submitting.  Sent on the
+    same FIFO channel as submissions, so receipt proves the shard has
+    everything the client ever sent it."""
+
+    client_id: ClientId
+
+
+@dataclass(frozen=True)
+class HandoffTransfer:
+    """Old shard -> new shard (backbone): adopt this client.
+
+    ``resolved`` lists the client's action ids the old shard already
+    committed or aborted — relayed to the client so it can retire
+    pending entries whose stream echoes will never arrive."""
+
+    client_id: ClientId
+    radius: float
+    interests: Optional[frozenset] = None
+    resolved: Tuple[ActionId, ...] = ()
+
+
+@dataclass(frozen=True)
+class HandoffWelcome:
+    """New shard -> client: you are mine now; switch your stream."""
+
+    shard: int
+    resolved: Tuple[ActionId, ...] = ()
+
+
 def wire_size(message: object) -> int:
     """Simulated size in bytes of a protocol message.
 
@@ -170,6 +257,26 @@ def wire_size(message: object) -> int:
                 else:
                     size += 8 + item.action.wire_size()
         return size
+    if isinstance(message, SpanForward):
+        return 24 + 4 * len(message.involved) + message.action.wire_size()
+    if isinstance(message, SpanSplice):
+        return 32 + 4 * len(message.involved) + message.action.wire_size()
+    if isinstance(message, SpanResult):
+        return 32 + _result_size(message.result)
+    if isinstance(message, SpanAbort):
+        return 32
+    if isinstance(message, HandoffPrepare):
+        return 16
+    if isinstance(message, HandoffReady):
+        return 16
+    if isinstance(message, HandoffTransfer):
+        return (
+            32
+            + 8 * len(message.resolved)
+            + (4 * len(message.interests) if message.interests else 0)
+        )
+    if isinstance(message, HandoffWelcome):
+        return 16 + 8 * len(message.resolved)
     raise TypeError(f"not a protocol message: {type(message).__name__}")
 
 

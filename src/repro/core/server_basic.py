@@ -163,6 +163,12 @@ class BasicServer:
         if action.action_id in self._seen_actions:
             self.stats.duplicate_submissions += 1
             return
+        if src in self._detached and src not in self.pos:
+            # Evicted/disconnected: drop without burning the ActionId —
+            # a delayed resubmission after re-attach must still be able
+            # to serialize (never-attached clients still hit the
+            # ProtocolError below).
+            return
         self._seen_actions.add(action.action_id)
 
         def serialize() -> None:
@@ -173,7 +179,10 @@ class BasicServer:
     def _serialize_and_reply(self, src: ClientId, action: Action) -> None:
         if src not in self.pos:
             if src in self._detached:
-                return  # evicted/disconnected mid-flight: drop quietly
+                # Evicted mid-flight (between receipt and this host
+                # completion): un-burn the id for resubmission.
+                self._seen_actions.discard(action.action_id)
+                return
             raise ProtocolError(f"submission from unattached client {src}")
         position = len(self.queue)
         self.queue.append(action)

@@ -154,6 +154,7 @@ class IncompleteWorldServer:
         use_spatial_index: bool = True,
         use_writer_index: bool = True,
         liveness: Optional[LivenessConfig] = None,
+        server_id: ClientId = SERVER_ID,
         obs=None,
     ) -> None:
         if info_bound is not None and predicate is None:
@@ -167,6 +168,10 @@ class IncompleteWorldServer:
         self.network = network
         self.host = host
         self.state = state
+        #: Network address this server sends/receives as.  The classic
+        #: deployment uses :data:`SERVER_ID`; shard servers get their
+        #: own negative host ids.
+        self.server_id = server_id
         self.predicate = predicate
         self.info_bound = info_bound
         self.tick_ms = tick_ms
@@ -207,7 +212,7 @@ class IncompleteWorldServer:
         #: Reactive replies deferred by the in-order delivery guard,
         #: per client; retried whenever the commit frontier advances.
         self._deferred_replies: Dict[ClientId, List[int]] = {}
-        network.register(SERVER_ID, self._on_message)
+        network.register(self.server_id, self._on_message)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -296,7 +301,15 @@ class IncompleteWorldServer:
             if action.action_id in self._seen_actions:
                 self.stats.duplicate_submissions += 1
                 return
+            if src not in self.clients:
+                # Detached/evicted: drop without burning the ActionId —
+                # a delayed resubmission arriving after eviction must
+                # not poison the dedup filter, or the client's
+                # post-reattach resubmissions would be absorbed forever
+                # and the action would never serialize.
+                return
             self._seen_actions.add(action.action_id)
+            self._note_submission(src, action)
             cost = self.costs.timestamp_ms
             if self.predicate is None:
                 cost += self.costs.closure_ms
@@ -311,7 +324,11 @@ class IncompleteWorldServer:
     def _admit(self, src: ClientId, action: Action) -> None:
         """Algorithm 5 step 3(a): timestamp and enqueue."""
         if src not in self.clients:
-            return  # submission raced a detach; drop silently
+            # Detached between receipt and admission: un-burn the id so
+            # a post-reattach resubmission can still serialize.
+            self._seen_actions.discard(action.action_id)
+            self._forget_submission(src, action)
+            return
         entry = QueueEntry(self._next_pos, action, arrived_at=self.sim.now)
         self._next_pos += 1
         self._entries.append(entry)
@@ -371,6 +388,13 @@ class IncompleteWorldServer:
         cost = self.costs.closure_ms
         if obs is not None:
             obs.on_push_closure(self.costs.closure_ms, obs.wall() - started)
+        if chain is None:
+            # Span-pending deferral (sharded deployments): the chain
+            # touches a spliced spanning action whose committed result
+            # has not arrived yet.  transitive_closure already unwound
+            # its sent marks; retry on a later cycle.
+            self.stats.closures_deferred += 1
+            return None, cost
         record = self.clients.get(client_id)
         if record is not None:
             if chain and self._entries[chain[0]].pos < record.high_water:
@@ -394,9 +418,20 @@ class IncompleteWorldServer:
             batch_entries.append(OrderedAction(-1, blind))
         for chain_index in chain:
             chained = self._entries[chain_index]
-            batch_entries.append(OrderedAction(chained.pos, chained.action))
+            batch_entries.append(
+                OrderedAction(chained.pos, self._wire_action(client_id, chained))
+            )
             cost += self.costs.push_entry_ms
         return batch_entries, cost
+
+    def _wire_action(self, client_id: ClientId, entry: QueueEntry) -> Action:
+        """The action to put on the wire for ``entry`` -> ``client_id``.
+
+        Hook for the sharded server, which replaces spliced spanning
+        actions with value-carrying blind writes for everyone but the
+        originator.  The base server always sends the action itself.
+        """
+        return entry.action
 
     def _send_batch(
         self, client_id: ClientId, batch_entries: List[OrderedAction]
@@ -404,7 +439,7 @@ class IncompleteWorldServer:
         if not batch_entries:
             return
         batch = ActionBatch(tuple(batch_entries), last_installed=self._base_pos - 1)
-        self.network.send(SERVER_ID, client_id, batch, wire_size(batch))
+        self.network.send(self.server_id, client_id, batch, wire_size(batch))
         self.stats.batches_sent += 1
         self.stats.entries_distributed += len(batch_entries)
 
@@ -449,7 +484,9 @@ class IncompleteWorldServer:
         def notify() -> None:
             for client_id, notice in notices:
                 if client_id in self.clients:
-                    self.network.send(SERVER_ID, client_id, notice, wire_size(notice))
+                    self.network.send(
+                        self.server_id, client_id, notice, wire_size(notice)
+                    )
 
         self.host.execute(cost, notify)
         # Dropped entries may have been the only thing stalling the
@@ -687,6 +724,7 @@ class IncompleteWorldServer:
             self._base_pos = entry.pos + 1
             if self._writer_index is not None:
                 self._writer_index.note_dequeued(entry.action.writes, self._base_pos)
+            self._note_resolved(entry)
             if entry.valid is False:
                 continue
             assert entry.completion is not None
@@ -745,6 +783,20 @@ class IncompleteWorldServer:
                 self._client_index.update(
                     client_id, self._client_position(client_id)
                 )
+
+    def _note_submission(self, src: ClientId, action: Action) -> None:
+        """Hook: a fresh (non-duplicate) submission from an attached
+        client was accepted for timestamping.  The sharded server
+        tracks it as unresolved for the handoff barrier."""
+
+    def _forget_submission(self, src: ClientId, action: Action) -> None:
+        """Hook: a submission noted via :meth:`_note_submission` was
+        discarded before entering the queue (raced detach)."""
+
+    def _note_resolved(self, entry: QueueEntry) -> None:
+        """Hook: ``entry`` just left the queue (committed or dropped).
+        The sharded server clears unresolved-tracking and logs the
+        resolution for handoff."""
 
     def _note_position_change(self, entry: QueueEntry) -> None:
         """Track t_C for velocity culling: the originator's committed

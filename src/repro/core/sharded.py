@@ -1,0 +1,868 @@
+"""Sharded multi-server SEVE: region partitioning, cross-shard action
+forwarding, and client handoff (Section VII's "several servers can be
+used, each of which is responsible for a different region").
+
+The single-serializer SEVE engine commits every action through one
+server CPU; this module distributes that serialization across K
+**shard servers**, each owning a vertical stripe of the world and
+running the full PR-1 machinery (First Bound pushes, Algorithm 6
+closures, Information Bound validation, distribution indexes) over its
+own clients and its own replica of the world state.
+
+Design
+------
+*Local actions* — whose influence disc lies inside one stripe — are
+timestamped, validated, and distributed entirely by their owner shard:
+the common case, and the source of the K-way scaling.
+
+*Spanning actions* — whose influence disc crosses a stripe border —
+serialize through a deterministic two-phase forward:
+
+1. The owner shard (where the originator is attached) admits and
+   dedups the action, classifies its involved shard set, and forwards
+   it to the **sequencer** (shard 0) instead of its local queue.
+2. The sequencer assigns a monotonically increasing **global sequence
+   number** (gsn) and broadcasts a splice to every involved shard over
+   the fault-free FIFO backbone.  Each shard splices the action into
+   its local stream at its next position; because splices leave the
+   sequencer in gsn order and backbone links are FIFO, every shard
+   orders all spanning actions identically — so each client's observed
+   stream embeds into one global serializable order (local actions are
+   observed by clients of exactly one shard and may interleave freely
+   between spanning actions).
+
+Only the *originator* ever evaluates a spanning action.  Everyone else
+— including every client of every peer shard — receives its committed
+result as a positioned :class:`~repro.core.action.BlindWrite` (a
+*value entry*), which is only deliverable once the owner has relayed
+the originator's completion via ``SpanResult``.  A closure touching a
+spanning action whose result is still unknown defers whole (see
+:func:`repro.core.closure.transitive_closure`); this is what prevents
+replica divergence from K independent evaluations against K replicas.
+
+*Handoff* — when a client's committed avatar position leaves its
+shard's stripe by more than a hysteresis margin, the owner initiates a
+migration: the client parks new submissions and acknowledges over its
+FIFO uplink (proving the shard holds everything it ever sent); once
+every one of the client's actions has resolved the owner transfers the
+subscription over the backbone, and the new shard adopts and welcomes
+the client, which atomically switches streams.  Resolved-action ids
+ride along so the client can retire pending entries whose echoes died
+with the old stream.
+
+A one-shard deployment (``shards=1``) leaves every cross-shard path
+dormant and is **byte-identical** to the classic single-server engine —
+the differential tests pin this down.
+
+Scope: crash/liveness fault plans are not supported at K > 1 (handoff
+of a crashed client's obligations is future work — see ROADMAP); loss,
+jitter, and duplication plans with the ARQ transport are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.action import Action, ActionId, BlindWrite
+from repro.core.closure import QueueEntry
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.core.first_bound import FirstBoundPredicate
+from repro.core.info_bound import InformationBound
+from repro.core.messages import (
+    Completion,
+    HandoffPrepare,
+    HandoffReady,
+    HandoffTransfer,
+    HandoffWelcome,
+    SpanAbort,
+    SpanForward,
+    SpanResult,
+    SpanSplice,
+    wire_size,
+)
+from repro.core.server_incomplete import IncompleteWorldServer
+from repro.errors import ConfigurationError, ProtocolError
+from repro.net.host import Host
+from repro.state.versioned import VersionedStore
+from repro.types import ClientId, TimeMs, shard_host_id
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Parameters of a sharded deployment."""
+
+    #: Number of shard servers (vertical stripes of the world).
+    shards: int = 2
+    #: Width of the world's x extent; stripes partition [0, world_width).
+    world_width: float = 1000.0
+    #: Hysteresis, in world units, a committed avatar position must
+    #: leave its stripe by before a handoff triggers (prevents border
+    #: oscillation from thrashing migrations).
+    handoff_margin: float = 10.0
+    #: Extra classification radius added to an action's own influence
+    #: radius when deciding which shards it spans.  ``None`` lets the
+    #: engine derive it (predicate reach + largest client radius +
+    #: handoff margin), which guarantees no client of an uninvolved
+    #: shard can pass the Equation (1) predicate for the action.
+    span_slack: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.world_width <= 0:
+            raise ConfigurationError(
+                f"world_width must be positive, got {self.world_width}"
+            )
+        if self.handoff_margin < 0:
+            raise ConfigurationError("handoff_margin must be >= 0")
+
+
+class RegionPartition:
+    """Vertical-stripe partition of the world's x axis.
+
+    Stripe k owns x ∈ [k·w, (k+1)·w) with w = world_width / shards;
+    positions outside [0, world_width) clamp to the border stripes, so
+    every position has exactly one owner.
+
+    >>> partition = RegionPartition(100.0, 4)
+    >>> partition.shard_of(10.0), partition.shard_of(99.0)
+    (0, 3)
+    >>> partition.shards_touching(24.0, 3.0)
+    (0, 1)
+    >>> partition.shards_touching(50.0, 0.0)
+    (2,)
+    """
+
+    def __init__(self, world_width: float, shards: int) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if world_width <= 0:
+            raise ConfigurationError(f"world_width must be positive, got {world_width}")
+        self.world_width = world_width
+        self.shards = shards
+        self.stripe_width = world_width / shards
+
+    def shard_of(self, x: float) -> int:
+        """Owner stripe of position ``x`` (clamped at the borders)."""
+        return min(self.shards - 1, max(0, int(x / self.stripe_width)))
+
+    def bounds(self, shard: int) -> Tuple[float, float]:
+        """The [lo, hi) x-interval stripe ``shard`` owns."""
+        return shard * self.stripe_width, (shard + 1) * self.stripe_width
+
+    def shards_touching(self, x: float, radius: float) -> Tuple[int, ...]:
+        """Ascending stripe indices intersecting [x - radius, x + radius]."""
+        lo = self.shard_of(x - radius)
+        hi = self.shard_of(x + radius)
+        return tuple(range(lo, hi + 1))
+
+    def home_with_hysteresis(self, x: float, current: int, margin: float) -> int:
+        """The stripe ``x`` belongs to, with a ``margin`` of tolerance
+        around ``current``'s borders: a position within margin of the
+        current stripe stays home."""
+        lo, hi = self.bounds(current)
+        if lo - margin <= x < hi + margin:
+            return current
+        return self.shard_of(x)
+
+
+@dataclass
+class ShardStats:
+    """Per-shard counters of the cross-shard machinery."""
+
+    #: Spanning actions this shard owned and forwarded for sequencing.
+    spans_forwarded: int = 0
+    #: Sequenced spanning actions spliced into this shard's stream.
+    spans_spliced: int = 0
+    #: Span results relayed to involved peers (owner side).
+    span_results_relayed: int = 0
+    #: Span results received and recorded (peer side).
+    span_results_received: int = 0
+    #: Submissions parked behind an outstanding span forward.
+    actions_held: int = 0
+    #: Handoffs this shard initiated (clients migrating out).
+    handoffs_out: int = 0
+    #: Handoffs this shard completed (clients adopted).
+    handoffs_in: int = 0
+    #: Spanning actions sequenced by this shard (sequencer only).
+    spans_sequenced: int = 0
+
+
+class ShardServer(IncompleteWorldServer):
+    """One shard: a full Incomplete World server over one world stripe.
+
+    Extends the base server with span classification and two-phase
+    forwarding (owner side), gsn splicing and value-entry distribution
+    (every involved side), result/abort relays, and the client-handoff
+    state machine.  With ``shards=1`` every override reduces to the
+    base behaviour — no extra messages, no extra scheduled events — so
+    a one-shard deployment is byte-identical to the classic server.
+    """
+
+    def __init__(
+        self,
+        *args,
+        shard_index: int = 0,
+        partition: Optional[RegionPartition] = None,
+        span_slack: float = 0.0,
+        handoff_margin: float = 10.0,
+        **kwargs,
+    ) -> None:
+        self.shard_index = shard_index
+        self.partition = partition or RegionPartition(1000.0, 1)
+        self.span_slack = span_slack
+        self.handoff_margin = handoff_margin
+        self.shard_stats = ShardStats()
+        #: gsn assignment counter (sequencer shard only).
+        self._next_gsn = 0
+        #: Per-client count of span forwards not yet spliced back.
+        self._outstanding_spans: Dict[ClientId, int] = {}
+        #: Per-client submissions parked behind an outstanding span
+        #: (admitted in arrival order once the splice returns, so the
+        #: client's stream order matches its submission order).
+        self._held: Dict[ClientId, List[Action]] = {}
+        #: Per-client ids of accepted submissions not yet resolved
+        #: (committed or dropped) — the handoff barrier.
+        self._unresolved: Dict[ClientId, set] = {}
+        #: Per-client resolution log for the current attachment epoch,
+        #: shipped in HandoffTransfer so the client can retire pending
+        #: entries whose echoes died with the old stream.
+        self._resolved_log: Dict[ClientId, List[ActionId]] = {}
+        #: In-progress outbound handoffs: client -> {"target", "ready"}.
+        self._handoffs: Dict[ClientId, dict] = {}
+        #: Live span entries by action id -> queue position.
+        self._span_entries: Dict[ActionId, int] = {}
+        #: All gsns ever assigned to span actions seen by this shard
+        #: (splice time; kept for the cross-shard consistency audit).
+        self.span_gsns: Dict[ActionId, int] = {}
+        super().__init__(*args, **kwargs)
+
+    @property
+    def is_sequencer(self) -> bool:
+        """Whether this shard assigns global sequence numbers."""
+        return self.shard_index == 0
+
+    # ------------------------------------------------------------------
+    # Message routing
+    # ------------------------------------------------------------------
+    def _on_message(self, src: ClientId, payload: object) -> None:
+        if isinstance(payload, SpanForward):
+            self._on_span_forward(payload)
+        elif isinstance(payload, SpanSplice):
+            self._on_span_splice(payload)
+        elif isinstance(payload, SpanResult):
+            self._on_span_result(src, payload)
+        elif isinstance(payload, SpanAbort):
+            self._on_span_abort(payload)
+        elif isinstance(payload, HandoffTransfer):
+            self._on_handoff_transfer(payload)
+        elif isinstance(payload, HandoffReady):
+            self._on_handoff_ready(payload)
+        else:
+            super()._on_message(src, payload)
+
+    # ------------------------------------------------------------------
+    # Admission: classification, hold-back, forwarding (owner side)
+    # ------------------------------------------------------------------
+    def _involved_shards(self, action: Action) -> Tuple[int, ...]:
+        """The shards whose regions the action's influence disc (plus
+        the conservative classification slack) intersects."""
+        if self.partition.shards == 1:
+            return (0,)
+        if action.position is None:
+            # No spatial footprint: conservatively involves everyone.
+            return tuple(range(self.partition.shards))
+        return self.partition.shards_touching(
+            action.position.x, action.radius + self.span_slack
+        )
+
+    def _admit(self, src: ClientId, action: Action) -> None:
+        if src not in self.clients:
+            self._seen_actions.discard(action.action_id)
+            self._forget_submission(src, action)
+            return
+        if self._outstanding_spans.get(src):
+            # A span forward of this client is in flight; admitting now
+            # would serialize this action *before* it locally while the
+            # client's stream expects submission order.  Park it.
+            self._held.setdefault(src, []).append(action)
+            self.shard_stats.actions_held += 1
+            return
+        involved = self._involved_shards(action)
+        if len(involved) > 1:
+            self._forward_span(src, action, involved)
+        else:
+            super()._admit(src, action)
+
+    def _forward_span(
+        self, src: ClientId, action: Action, involved: Tuple[int, ...]
+    ) -> None:
+        self._outstanding_spans[src] = self._outstanding_spans.get(src, 0) + 1
+        self.shard_stats.spans_forwarded += 1
+        if self._obs is not None:
+            self._obs.on_shard_forward(self.sim.now, self.shard_index, len(involved))
+        message = SpanForward(self.shard_index, involved, action)
+        if self.is_sequencer:
+            self._sequence_span(message)
+        else:
+            self.network.send(
+                self.server_id, shard_host_id(0), message, wire_size(message)
+            )
+
+    def _drain_held(self, client_id: ClientId) -> None:
+        """Admit parked submissions in order; stop (still holding the
+        rest) if one of them is itself a spanning action."""
+        held = self._held.get(client_id)
+        while held:
+            action = held.pop(0)
+            if client_id not in self.clients:
+                self._seen_actions.discard(action.action_id)
+                self._forget_submission(client_id, action)
+                continue
+            involved = self._involved_shards(action)
+            if len(involved) > 1:
+                self._forward_span(client_id, action, involved)
+                return
+            super()._admit(client_id, action)
+        self._held.pop(client_id, None)
+
+    # ------------------------------------------------------------------
+    # Sequencing and splicing
+    # ------------------------------------------------------------------
+    def _on_span_forward(self, message: SpanForward) -> None:
+        if not self.is_sequencer:
+            raise ProtocolError(
+                f"shard {self.shard_index} received a SpanForward "
+                f"(only shard 0 sequences)"
+            )
+        self._sequence_span(message)
+
+    def _sequence_span(self, message: SpanForward) -> None:
+        """Assign the next gsn and broadcast the splice to every
+        involved shard (self-splices run synchronously; peers receive
+        over FIFO backbone links, preserving gsn order per shard)."""
+        gsn = self._next_gsn
+        self._next_gsn += 1
+        self.shard_stats.spans_sequenced += 1
+        self.host.execute(self.costs.timestamp_ms, lambda: None)
+        splice = SpanSplice(gsn, message.owner, message.involved, message.action)
+        for shard in message.involved:
+            if shard == self.shard_index:
+                self._on_span_splice(splice)
+            else:
+                self.network.send(
+                    self.server_id, shard_host_id(shard), splice, wire_size(splice)
+                )
+
+    def _on_span_splice(self, splice: SpanSplice) -> None:
+        """Splice a sequenced spanning action into the local stream at
+        the next position, pre-validated (the sequencer's gsn order
+        admits it; Information Bound geometry does not apply)."""
+        action = splice.action
+        entry = QueueEntry(self._next_pos, action, arrived_at=self.sim.now)
+        entry.span = True
+        entry.span_owner = splice.owner == self.shard_index
+        entry.gsn = splice.gsn
+        entry.span_involved = splice.involved
+        entry.valid = True
+        self._next_pos += 1
+        self._entries.append(entry)
+        if self._writer_index is not None:
+            self._writer_index.note_enqueued(entry.pos, action.writes)
+        self.stats.actions_serialized += 1
+        self.shard_stats.spans_spliced += 1
+        if self._validated_upto == entry.pos - 1:
+            # Contiguous with the validation frontier: distributable now
+            # (otherwise the next validation tick's frontier walk passes
+            # over the pre-set verdict).
+            self._validated_upto = entry.pos
+        self._span_entries[action.action_id] = entry.pos
+        self.span_gsns[action.action_id] = splice.gsn
+        self.host.execute(self.costs.timestamp_ms, lambda: None)
+        if self._obs is not None:
+            self._obs.on_shard_splice(
+                self.sim.now, self.shard_index, splice.gsn, entry.pos
+            )
+        if entry.span_owner:
+            originator = action.client_id
+            remaining = self._outstanding_spans.get(originator, 0) - 1
+            if remaining > 0:
+                self._outstanding_spans[originator] = remaining
+            else:
+                self._outstanding_spans.pop(originator, None)
+                self._drain_held(originator)
+
+    # ------------------------------------------------------------------
+    # Result distribution
+    # ------------------------------------------------------------------
+    def _record_completion(self, src: ClientId, message: Completion) -> None:
+        # Owner side: the originator's completion doubles as the span's
+        # committed result; relay it to the involved peers before the
+        # frontier (possibly) pops the entry.
+        index = message.pos - self._base_pos
+        if 0 <= index < len(self._entries):
+            entry = self._entries[index]
+            if (
+                entry.span
+                and entry.span_owner
+                and entry.span_result is None
+                and entry.action.action_id == message.action_id
+            ):
+                entry.span_result = message.result
+                self.shard_stats.span_results_relayed += 1
+                for shard in entry.span_involved:
+                    if shard != self.shard_index:
+                        relay = SpanResult(
+                            entry.gsn, entry.action.action_id, message.result
+                        )
+                        self.network.send(
+                            self.server_id,
+                            shard_host_id(shard),
+                            relay,
+                            wire_size(relay),
+                        )
+        super()._record_completion(src, message)
+
+    def _on_span_result(self, src: ClientId, message: SpanResult) -> None:
+        """Peer side: record the committed result of a spliced spanning
+        action — unblocking value-entry distribution and the commit
+        frontier."""
+        pos = self._span_entries.get(message.action_id)
+        if pos is None or pos < self._base_pos:
+            return  # already resolved (e.g. aborted) — nothing to do
+        entry = self._entries[pos - self._base_pos]
+        if entry.span_result is not None:
+            return
+        entry.span_result = message.result
+        entry.record_completion(message.result, src)
+        self.shard_stats.span_results_received += 1
+        self._advance_frontier()
+
+    def _on_span_abort(self, message: SpanAbort) -> None:
+        """Peer side: the owner aborted a spanning action; drop our
+        spliced entry so the frontier can pass it."""
+        pos = self._span_entries.get(message.action_id)
+        if pos is None or pos < self._base_pos:
+            return
+        entry = self._entries[pos - self._base_pos]
+        if entry.completion is not None:
+            return  # result won the race; the abort is stale
+        entry.valid = False
+        self.stats.actions_dropped += 1
+        self._advance_frontier()
+
+    def _wire_action(self, client_id: ClientId, entry: QueueEntry) -> Action:
+        if entry.span and entry.action.client_id != client_id:
+            # Value entry: everyone but the originator receives the
+            # committed result, not the code (only the originator ever
+            # evaluates a spanning action).
+            assert entry.span_result is not None, "span closures defer until known"
+            return BlindWrite(
+                entry.action.action_id,
+                entry.span_result.values(),
+                origin=entry.action.action_id,
+            )
+        return entry.action
+
+    # ------------------------------------------------------------------
+    # Orphan aborts (owner decides for spanning actions)
+    # ------------------------------------------------------------------
+    def _abort_orphans(self) -> None:
+        aborted = False
+        for entry in self._entries:
+            if entry.completion is not None or entry.valid is not True:
+                continue
+            if entry.span and not entry.span_owner:
+                continue  # only the owner may abort a spanning action
+            holders = set(entry.sent) | {entry.action.client_id}
+            if any(holder in self.clients for holder in holders):
+                continue
+            entry.valid = False
+            self.stats.orphans_aborted += 1
+            self.stats.actions_dropped += 1
+            aborted = True
+            if entry.span:
+                for shard in entry.span_involved:
+                    if shard != self.shard_index:
+                        notice = SpanAbort(entry.gsn, entry.action.action_id)
+                        self.network.send(
+                            self.server_id,
+                            shard_host_id(shard),
+                            notice,
+                            wire_size(notice),
+                        )
+        if aborted:
+            self._advance_frontier()
+
+    # ------------------------------------------------------------------
+    # Submission / resolution tracking (the handoff barrier)
+    # ------------------------------------------------------------------
+    def _note_submission(self, src: ClientId, action: Action) -> None:
+        self._unresolved.setdefault(src, set()).add(action.action_id)
+
+    def _forget_submission(self, src: ClientId, action: Action) -> None:
+        bucket = self._unresolved.get(src)
+        if bucket is not None:
+            bucket.discard(action.action_id)
+            if not bucket:
+                del self._unresolved[src]
+
+    def _note_resolved(self, entry: QueueEntry) -> None:
+        action_id = entry.action.action_id
+        self._span_entries.pop(action_id, None)
+        client_id = entry.action.client_id
+        bucket = self._unresolved.get(client_id)
+        if bucket is not None:
+            bucket.discard(action_id)
+            if not bucket:
+                del self._unresolved[client_id]
+        if client_id in self.clients:
+            self._resolved_log.setdefault(client_id, []).append(action_id)
+        if client_id in self._handoffs:
+            self._maybe_finalize(client_id)
+
+    # ------------------------------------------------------------------
+    # Handoff state machine (owner side)
+    # ------------------------------------------------------------------
+    def _note_position_change(self, entry: QueueEntry) -> None:
+        super()._note_position_change(entry)
+        if self.partition.shards == 1:
+            return
+        client_id = entry.action.client_id
+        record = self.clients.get(client_id)
+        if record is None or client_id in self._handoffs:
+            return
+        if self.avatar_of is None:
+            return
+        avatar_oid = self.avatar_of(client_id)
+        if avatar_oid is None or avatar_oid not in entry.action.writes:
+            return
+        position = self._client_position(client_id)
+        if position is None:
+            return
+        target = self.partition.home_with_hysteresis(
+            position.x, self.shard_index, self.handoff_margin
+        )
+        if target != self.shard_index:
+            self._begin_handoff(client_id, target)
+
+    def _begin_handoff(self, client_id: ClientId, target: int) -> None:
+        self._handoffs[client_id] = {"target": target, "ready": False}
+        self.shard_stats.handoffs_out += 1
+        if self._obs is not None:
+            self._obs.on_shard_handoff(
+                self.sim.now, client_id, self.shard_index, target, "prepare"
+            )
+        prepare = HandoffPrepare(target)
+        self.network.send(self.server_id, client_id, prepare, wire_size(prepare))
+
+    def _on_handoff_ready(self, message: HandoffReady) -> None:
+        state = self._handoffs.get(message.client_id)
+        if state is None:
+            return  # client evicted or handoff cancelled meanwhile
+        state["ready"] = True
+        self._maybe_finalize(message.client_id)
+
+    def _maybe_finalize(self, client_id: ClientId) -> None:
+        """Complete the handoff once the barrier holds: the client has
+        acknowledged (its FIFO uplink is drained into us) and every one
+        of its accepted submissions has resolved — including parked and
+        span-forwarded ones, which stay unresolved until they commit."""
+        state = self._handoffs.get(client_id)
+        if state is None or not state["ready"]:
+            return
+        if self._unresolved.get(client_id):
+            return
+        if self._held.get(client_id) or self._outstanding_spans.get(client_id):
+            return  # defensive: these imply unresolved ids, but be explicit
+        self._finalize_handoff(client_id, state["target"])
+
+    def _finalize_handoff(self, client_id: ClientId, target: int) -> None:
+        record = self.clients[client_id]
+        resolved = tuple(self._resolved_log.get(client_id, ()))
+        transfer = HandoffTransfer(client_id, record.radius, record.interests, resolved)
+        del self._handoffs[client_id]
+        self.detach_client(client_id)
+        if self._obs is not None:
+            self._obs.on_shard_handoff(
+                self.sim.now, client_id, self.shard_index, target, "transfer"
+            )
+        self.network.send(
+            self.server_id, shard_host_id(target), transfer, wire_size(transfer)
+        )
+
+    def _on_handoff_transfer(self, message: HandoffTransfer) -> None:
+        """Adopt a migrating client and welcome it onto our stream."""
+        self.attach_client(
+            message.client_id,
+            radius=message.radius,
+            interests=message.interests,
+        )
+        # The handoff barrier guarantees every action this client ever
+        # submitted committed on its previous shard before the transfer
+        # — and committing needed the client's own completion, so the
+        # client has stably applied all of them.  Its span entries still
+        # uncommitted *here* must not be redelivered (the client, as
+        # originator, would receive the real action and re-evaluate it,
+        # diverging from the committed result): mark them sent, so
+        # closures subtract their writes instead of pushing them.
+        for entry in self._entries:
+            if (
+                entry.valid is not False
+                and entry.action.client_id == message.client_id
+            ):
+                entry.sent.add(message.client_id)
+        self.shard_stats.handoffs_in += 1
+        if self._obs is not None:
+            self._obs.on_shard_handoff(
+                self.sim.now, message.client_id, self.shard_index, self.shard_index,
+                "adopt",
+            )
+        welcome = HandoffWelcome(self.shard_index, message.resolved)
+        self.network.send(
+            self.server_id, message.client_id, welcome, wire_size(welcome)
+        )
+
+    def detach_client(self, client_id: ClientId) -> None:
+        super().detach_client(client_id)
+        self._held.pop(client_id, None)
+        self._outstanding_spans.pop(client_id, None)
+        self._unresolved.pop(client_id, None)
+        self._resolved_log.pop(client_id, None)
+        self._handoffs.pop(client_id, None)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardServer(shard={self.shard_index}, "
+            f"committed={self.stats.actions_committed}, "
+            f"live={len(self._entries)}, clients={len(self.clients)})"
+        )
+
+
+class ShardedSeveEngine(SeveEngine):
+    """A SEVE deployment over K shard servers.
+
+    Each shard runs on its own simulated :class:`Host` with its own
+    :class:`VersionedStore` replica and distribution indexes; shards
+    exchange spanning actions, results, and handoffs over fault-free
+    FIFO backbone links.  Clients attach to the shard owning their
+    spawn position and migrate as their avatars cross stripe borders.
+
+    ``shards=1`` is byte-identical to :class:`SeveEngine`.
+    """
+
+    def __init__(
+        self,
+        world,
+        num_clients: int,
+        config: Optional[SeveConfig] = None,
+        *,
+        sharding: Optional[ShardingConfig] = None,
+        interests: Optional[Dict[ClientId, frozenset]] = None,
+    ) -> None:
+        self.sharding = sharding or ShardingConfig()
+        self._num_clients = num_clients
+        super().__init__(world, num_clients, config, interests=interests)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _build_server(self) -> None:
+        config = self.config
+        shards = self.sharding.shards
+        if config.mode not in ("seve", "first-bound"):
+            raise ConfigurationError(
+                f"sharded deployments support the push modes "
+                f"('seve', 'first-bound'); got {config.mode!r}"
+            )
+        plan = config.fault_plan
+        if shards > 1 and (
+            config.liveness is not None or (plan is not None and plan.crashes)
+        ):
+            raise ConfigurationError(
+                "crash/liveness fault plans are not supported with "
+                "shards > 1 (see ROADMAP: sharded crash recovery)"
+            )
+        self.partition = RegionPartition(self.sharding.world_width, shards)
+        self.predicate = FirstBoundPredicate(
+            max_speed=self.world.max_speed,
+            rtt_ms=config.rtt_ms,
+            omega=config.omega,
+            use_velocity_culling=config.use_velocity_culling,
+        )
+        span_slack = self.sharding.span_slack
+        if span_slack is None:
+            max_client_radius = 0.0
+            for client_id in range(self._num_clients):
+                max_client_radius = max(
+                    max_client_radius, self.world.client_radius(client_id)
+                )
+            span_slack = (
+                self.predicate.reach
+                + max_client_radius
+                + self.sharding.handoff_margin
+            )
+        self.span_slack = span_slack
+
+        self.shard_servers: List[ShardServer] = []
+        self.server_hosts: Dict[int, Host] = {}
+        self.shard_states: List[VersionedStore] = []
+        self.info_bounds: List[Optional[InformationBound]] = []
+        self.audits: list = []
+        for shard in range(shards):
+            host_id = shard_host_id(shard)
+            if shard == 0:
+                host = self.server_host  # shard 0 reuses the base host
+            else:
+                self.network.add_server(host_id)
+                host = Host(self.sim, host_id, obs=self.obs)
+            self.server_hosts[shard] = host
+            state = VersionedStore(
+                self.world.initial_objects(), history_limit=config.history_limit
+            )
+            info_bound = (
+                InformationBound(
+                    config.threshold,
+                    policy=config.info_bound_policy,
+                    max_delay_ticks=config.max_delay_ticks,
+                )
+                if config.mode == "seve"
+                else None
+            )
+            server = ShardServer(
+                self.sim,
+                self.network,
+                host,
+                state,
+                shard_index=shard,
+                partition=self.partition,
+                span_slack=span_slack,
+                handoff_margin=self.sharding.handoff_margin,
+                predicate=self.predicate,
+                info_bound=info_bound,
+                tick_ms=config.tick_ms,
+                costs=config.costs,
+                avatar_of=self.world.avatar_of,
+                use_spatial_index=config.use_distribution_indexes,
+                use_writer_index=config.use_distribution_indexes,
+                liveness=config.liveness,
+                server_id=host_id,
+                obs=self.obs,
+            )
+            self.shard_servers.append(server)
+            self.shard_states.append(state)
+            self.info_bounds.append(info_bound)
+        self.server = self.shard_servers[0]
+        self.state = self.shard_states[0]
+        self.info_bound = self.info_bounds[0]
+        self.audit = None
+        if config.enable_audit:
+            from repro.metrics.audit import AuditLog
+
+            for server in self.shard_servers:
+                audit = AuditLog(max_speed=self.world.max_speed or None)
+                server.on_commit = self._make_audit_hook(audit)
+                self.audits.append(audit)
+            self.audit = self.audits[0]
+
+    def _make_audit_hook(self, audit):
+        return lambda pos, client_id, values: audit.record(
+            pos, client_id, self.sim.now, values
+        )
+
+    def _home_server(self, client_id: ClientId):
+        shard = self.home_shard(client_id)
+        return self.shard_servers[shard], shard_host_id(shard)
+
+    def home_shard(self, client_id: ClientId) -> int:
+        """The shard owning the client's initial avatar position."""
+        avatar_oid = self.world.avatar_of(client_id)
+        if avatar_oid is None or avatar_oid not in self.state:
+            return 0
+        obj = self.state.get(avatar_oid)
+        if "x" not in obj:
+            return 0
+        return self.partition.shard_of(float(obj["x"]))
+
+    def _client_config(self, client_id, interests):
+        config = super()._client_config(client_id, interests)
+        if self.sharding.shards > 1:
+            # Cross-shard handoff legitimately re-delivers: a client
+            # returning to a shard may be pushed entries it already
+            # holds, and echoes can be superseded by Welcome-resolved
+            # retirement.  Positional dedup handles both.
+            config.strict_stream = False
+        return config
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
+        for server in self.shard_servers:
+            server.start(stop_at=stop_at)
+        if self.config.liveness is not None:
+            for client_id in self.clients:
+                self._install_heartbeat(client_id, stop_at=stop_at)
+
+    def run_to_quiescence(self, max_extra_ms: TimeMs = 600_000.0) -> None:
+        deadline = self.sim.now + max_extra_ms
+        while self.sim.now < deadline:
+            if not self.sim.step():
+                break
+            if self._quiescent():
+                break
+        for server in self.shard_servers:
+            server.stop()
+        for stopper in list(self._heartbeat_stoppers.values()):
+            stopper()
+        self._heartbeat_stoppers.clear()
+        self.sim.run(until=min(self.sim.now + 1.0, deadline))
+
+    def _quiescent(self) -> bool:
+        if any(
+            client.pending_count
+            for client_id, client in self.clients.items()
+            if client_id not in self.dead
+        ):
+            return False
+        if self.config.liveness is not None:
+            if any(
+                any(client_id in server.clients for server in self.shard_servers)
+                for client_id in self.dead
+            ):
+                return False
+        if any(client._migrating for client in self.clients.values()):
+            return False
+        if any(server._handoffs for server in self.shard_servers):
+            return False
+        return all(server.uncommitted_count == 0 for server in self.shard_servers)
+
+    def live_client_ids(self) -> list[ClientId]:
+        return [
+            client_id
+            for client_id in self.clients
+            if client_id not in self.dead
+            and any(client_id in server.clients for server in self.shard_servers)
+        ]
+
+    def shard_of_client(self, client_id: ClientId) -> Optional[int]:
+        """The shard a client is currently attached to (None mid-flight)."""
+        for server in self.shard_servers:
+            if client_id in server.clients:
+                return server.shard_index
+        return None
+
+    def span_gsn_map(self) -> Dict[ActionId, int]:
+        """Union of every shard's gsn assignments (audit input)."""
+        merged: Dict[ActionId, int] = {}
+        for server in self.shard_servers:
+            merged.update(server.span_gsns)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSeveEngine(shards={self.sharding.shards}, "
+            f"mode={self.config.mode!r}, clients={len(self.clients)}, "
+            f"t={self.sim.now:.0f}ms)"
+        )

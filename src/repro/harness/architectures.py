@@ -141,9 +141,35 @@ def build_engine(
             reliability=reliability,
             retry=retry,
             liveness=liveness,
+            # The cross-shard consistency audit replays per-client
+            # observation logs, so sharded runs always record them
+            # (pure bookkeeping — never changes scheduling).
+            record_observations=settings.shards > 1,
             obs=obs,
         )
+        if settings.shards > 1:
+            from repro.core.sharded import ShardedSeveEngine, ShardingConfig
+
+            if _SEVE_MODES[architecture] not in ("seve", "first-bound"):
+                raise ConfigurationError(
+                    f"--shards > 1 requires a push-mode SEVE architecture "
+                    f"('seve' or 'seve-naive'); got {architecture!r}"
+                )
+            return ShardedSeveEngine(
+                world,
+                settings.num_clients,
+                config,
+                sharding=ShardingConfig(
+                    shards=settings.shards,
+                    world_width=settings.world_width,
+                ),
+            )
         return SeveEngine(world, settings.num_clients, config)
+    if settings.shards > 1:
+        raise ConfigurationError(
+            f"--shards > 1 requires a push-mode SEVE architecture "
+            f"('seve' or 'seve-naive'); got {architecture!r}"
+        )
     baseline_config = BaselineConfig(
         rtt_ms=settings.rtt_ms,
         bandwidth_bps=settings.bandwidth_bps,

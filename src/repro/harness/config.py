@@ -86,6 +86,11 @@ class SimulationSettings:
     max_delay_ticks: int = 3
     use_velocity_culling: bool = False
     fault_tolerant: bool = False
+    #: Shard servers partitioning the world into vertical stripes
+    #: (:mod:`repro.core.sharded`).  1 = the classic single serializer;
+    #: K > 1 requires a push mode (``seve`` / ``seve-naive``) and no
+    #: crash plan.
+    shards: int = 1
 
     # -- faults (docs/fault_model.md) --------------------------------------
     #: Deterministic fault injection; ``None`` (or a null plan) keeps the
@@ -127,6 +132,8 @@ class SimulationSettings:
             raise ConfigurationError("moves_per_client must be >= 0")
         if self.move_interval_ms <= 0:
             raise ConfigurationError("move_interval_ms must be positive")
+        if self.shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
 
     @property
     def effective_threshold(self) -> float:

@@ -80,6 +80,14 @@ class RunResult:
     #: Per-phase breakdown (``--profile``): phase name ->
     #: {count, sim_ms, wall_ms}.  ``None`` when profiling was off.
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: Cross-shard consistency audit (sharded runs only; see
+    #: :mod:`repro.metrics.shard_audit`).
+    shard_audit: Optional[object] = None
+    #: Per-shard summary rows for sharded runs: one dict per shard with
+    #: committed/serialized counts, cross-shard message counters, and
+    #: the shard host's simulated CPU time.  ``None`` for single-server
+    #: architectures.
+    shard_rows: Optional[list] = None
 
     @property
     def closure_overhead_percent(self) -> float:
@@ -128,7 +136,12 @@ def run_simulation(
         # Periodic fault machinery (heartbeats, liveness sweeps) must
         # stop eventually or the simulator never drains; give it a
         # grace window past the workload for retries to settle.
-        engine.start(stop_at=submit_horizon + 15_000.0)
+        # Sharded runs get the full drain budget: spanning actions
+        # serialize on their originators' results (one RTT per
+        # conflict-chain link), so a jittery queue needs far longer to
+        # empty — freezing pushes early would strand uncommitted spans.
+        grace = settings.drain_ms if settings.shards > 1 else 15_000.0
+        engine.start(stop_at=submit_horizon + grace)
         _schedule_crashes(engine, workload, plan)
     else:
         engine.start()
@@ -137,7 +150,9 @@ def run_simulation(
     engine.run(until=submit_horizon)
     engine.run_to_quiescence(max_extra_ms=settings.drain_ms)
 
+    sharded = getattr(engine, "shard_servers", None)
     consistency = None
+    shard_audit = None
     if check_consistency:
         # Crashed/evicted clients are excluded: the paper's guarantee
         # (Section III-C) covers the surviving replicas only.
@@ -148,7 +163,15 @@ def run_simulation(
             client_id: _stable_replica(engine.clients[client_id])
             for client_id in client_ids
         }
-        if architecture in ("seve-basic", "broadcast"):
+        if sharded is not None and len(sharded) > 1:
+            # Shard stores legitimately diverge on each other's local
+            # actions, so Theorem 1 is checked against any-shard history
+            # plus the global span-order audit.
+            from repro.metrics.shard_audit import audit_sharded_run
+
+            shard_audit = audit_sharded_run(engine)
+            consistency = shard_audit.replica_report
+        elif architecture in ("seve-basic", "broadcast"):
             # Full-replication architectures have no advancing server
             # state; consistency there means all replicas are identical.
             consistency = check_uniform(replicas)
@@ -172,15 +195,57 @@ def run_simulation(
         if isinstance(engine, SeveEngine)
         else [client.host for client in engine.clients.values()]
     )
-    total_cpu = engine.server_host.cpu_time_used + sum(
+    server_hosts = (
+        list(engine.server_hosts.values())
+        if sharded is not None
+        else [engine.server_host]
+    )
+    total_cpu = sum(host.cpu_time_used for host in server_hosts) + sum(
         host.cpu_time_used for host in client_hosts
     )
     closure_cpu = 0.0
+    shard_rows = None
     server = getattr(engine, "server", None)
-    if server is not None and hasattr(server, "stats") and hasattr(
-        server.stats, "closures_computed"
-    ):
-        closure_cpu = server.stats.closures_computed * server.costs.closure_ms
+    if sharded is not None:
+        for shard_server in sharded:
+            closure_cpu += (
+                shard_server.stats.closures_computed
+                * shard_server.costs.closure_ms
+            )
+        shard_rows = [
+            {
+                "shard": shard_server.shard_index,
+                "clients": len(shard_server.clients),
+                "serialized": shard_server.stats.actions_serialized,
+                "committed": shard_server.stats.actions_committed,
+                "spans_forwarded": shard_server.shard_stats.spans_forwarded,
+                "spans_spliced": shard_server.shard_stats.spans_spliced,
+                "handoffs_out": shard_server.shard_stats.handoffs_out,
+                "handoffs_in": shard_server.shard_stats.handoffs_in,
+                "cpu_ms": engine.server_hosts[
+                    shard_server.shard_index
+                ].cpu_time_used,
+                "push_cycles": shard_server.stats.push_cycles,
+            }
+            for shard_server in sharded
+        ]
+    else:
+        if server is not None and hasattr(server, "stats") and hasattr(
+            server.stats, "closures_computed"
+        ):
+            closure_cpu = server.stats.closures_computed * server.costs.closure_ms
+    if sharded is not None:
+        from repro.types import shard_host_id
+
+        server_traffic_kb = (
+            sum(
+                meter.host_bytes(shard_host_id(shard))
+                for shard in range(len(sharded))
+            )
+            / 1024.0
+        )
+    else:
+        server_traffic_kb = meter.host_bytes(SERVER_ID) / 1024.0
     server_stats = getattr(server, "stats", None)
     clients_evicted = getattr(server_stats, "clients_evicted", 0) or getattr(
         engine, "liveness_evictions", 0
@@ -205,7 +270,7 @@ def run_simulation(
         response=engine.response_times.summary(),
         total_traffic_kb=meter.total_kb,
         client_traffic_kb=client_kb,
-        server_traffic_kb=meter.host_bytes(SERVER_ID) / 1024.0,
+        server_traffic_kb=server_traffic_kb,
         drop_percent=drop_percent,
         avg_visible=(sum(samples) / len(samples)) if samples else 0.0,
         avg_move_cost_ms=(sum(costs) / len(costs)) if costs else 0.0,
@@ -222,6 +287,8 @@ def run_simulation(
         retransmissions=meter.retransmissions,
         clients_evicted=clients_evicted,
         profile=profile,
+        shard_audit=shard_audit,
+        shard_rows=shard_rows,
     )
 
 

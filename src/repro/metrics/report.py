@@ -143,6 +143,46 @@ def profile_table(profile: dict, title: str = "Per-phase breakdown") -> Table:
     return table
 
 
+def shard_table(result, title: str = "Per-shard breakdown") -> Table:
+    """Sharded-run summary (:attr:`RunResult.shard_rows`) as a table.
+
+    One row per shard server: attached clients at quiescence, actions
+    serialized/committed by its local queue, cross-shard forward/splice
+    and handoff counters, push cycles, and the shard host's simulated
+    CPU time — the numbers behind the sharded scaling claim (the
+    per-shard serialized count drops as K grows).
+    """
+    table = Table(
+        title,
+        [
+            "shard",
+            "clients",
+            "serialized",
+            "committed",
+            "spans fwd",
+            "spans spliced",
+            "handoffs out/in",
+            "push cycles",
+            "cpu ms",
+        ],
+        note="spans are sequenced once (shard 0) and spliced into every "
+        "involved shard's stream",
+    )
+    for row in result.shard_rows or ():
+        table.add_row(
+            row["shard"],
+            row["clients"],
+            row["serialized"],
+            row["committed"],
+            row["spans_forwarded"],
+            row["spans_spliced"],
+            f"{row['handoffs_out']}/{row['handoffs_in']}",
+            row["push_cycles"],
+            round(row["cpu_ms"], 2),
+        )
+    return table
+
+
 def series_table(
     title: str,
     x_name: str,

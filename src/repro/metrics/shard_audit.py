@@ -1,0 +1,160 @@
+"""Cross-shard consistency audit for sharded SEVE deployments.
+
+A sharded run (:mod:`repro.core.sharded`) serializes *local* actions
+independently per shard and *spanning* actions through one global
+sequencer.  The correctness claim is that every client's observed
+stream embeds into one global serializable order: two clients anywhere
+in the world that both observe a pair of spanning actions observe them
+in the same (gsn) order, and every replica value a client holds was
+committed by some shard's authoritative timeline.
+
+This module checks both halves after a run, from artifacts the engine
+already keeps:
+
+1. **Span order** — every client's observation log (recorded when
+   :class:`~repro.core.engine.SeveConfig.record_observations` is on,
+   which sharded harness runs force) must list spanning actions in
+   strictly increasing gsn order *within each attachment epoch*.
+   Epochs are delimited by the ``("epoch", shard)`` markers the client
+   writes at each handoff; positions restart per shard stream, so only
+   within-epoch order is meaningful — and within an epoch the stream
+   is a suffix of one shard's gsn-ordered splice sequence, which is
+   what makes the per-epoch check sufficient for embeddability.
+2. **Replica values** — every object in every client's stable replica
+   must equal the current or some retained historical committed
+   version in *at least one* shard's store (Theorem 1 lifted to the
+   sharded deployment: shard stores legitimately diverge on each
+   other's local actions, so the single-store checker is per-shard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.metrics.consistency import ConsistencyReport, Violation
+from repro.types import ClientId
+
+
+@dataclass
+class SpanOrderViolation:
+    """Two spanning actions observed against their global order."""
+
+    client_id: ClientId
+    epoch: int
+    earlier_gsn: int
+    later_gsn: int
+
+
+@dataclass
+class ShardAuditReport:
+    """Outcome of the cross-shard consistency audit."""
+
+    clients_checked: int = 0
+    epochs_checked: int = 0
+    span_observations: int = 0
+    order_violations: List[SpanOrderViolation] = field(default_factory=list)
+    replica_report: ConsistencyReport = field(default_factory=ConsistencyReport)
+
+    @property
+    def consistent(self) -> bool:
+        """Whether both halves of the audit passed."""
+        return not self.order_violations and self.replica_report.consistent
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        return (
+            f"{self.clients_checked} clients / {self.epochs_checked} epochs: "
+            f"{self.span_observations} span observations, "
+            f"{len(self.order_violations)} order violations; "
+            f"replicas: {self.replica_report.summary()}"
+        )
+
+
+def _epoch_segments(observations) -> List[list]:
+    """Split an observation log into per-attachment-epoch segments."""
+    segments: List[list] = [[]]
+    for record in observations:
+        if record and record[0] == "epoch":
+            segments.append([])
+        else:
+            segments[-1].append(record)
+    return segments
+
+
+def check_span_order(engine) -> Tuple[int, int, List[SpanOrderViolation]]:
+    """Verify per-epoch gsn monotonicity of observed spanning actions.
+
+    Returns ``(epochs, span_observations, violations)``.
+    """
+    gsns = engine.span_gsn_map()
+    epochs = 0
+    observed = 0
+    violations: List[SpanOrderViolation] = []
+    for client_id, client in engine.clients.items():
+        if client.observations is None:
+            continue
+        for epoch_index, segment in enumerate(_epoch_segments(client.observations)):
+            epochs += 1
+            last_gsn = -1
+            for _, _, action_id, origin in segment:
+                gsn = gsns.get(origin if origin is not None else action_id)
+                if gsn is None:
+                    continue  # a local action — unconstrained interleaving
+                observed += 1
+                if gsn <= last_gsn:
+                    violations.append(
+                        SpanOrderViolation(client_id, epoch_index, last_gsn, gsn)
+                    )
+                last_gsn = gsn
+    return epochs, observed, violations
+
+
+def check_replicas_any_shard(
+    stores, replicas: Dict[ClientId, object]
+) -> ConsistencyReport:
+    """Theorem 1 across shards: each held value must be the current or
+    a retained historical committed version in *some* shard's store."""
+    report = ConsistencyReport()
+    for client_id in sorted(replicas):
+        for obj in replicas[client_id].objects():
+            report.objects_checked += 1
+            held = obj.as_dict()
+            current = False
+            historical = False
+            committed_now = {}
+            for store in stores:
+                if obj.oid in store:
+                    committed_now = store.get(obj.oid).as_dict()
+                    if held == committed_now:
+                        current = True
+                        break
+                if held in [attrs for _, _, attrs in store.history(obj.oid)]:
+                    historical = True
+            if current:
+                report.exact_matches += 1
+            elif historical:
+                report.stale_but_consistent += 1
+            else:
+                report.violations.append(
+                    Violation(client_id, obj.oid, held, committed_now)
+                )
+    return report
+
+
+def audit_sharded_run(engine) -> ShardAuditReport:
+    """Run the full cross-shard audit over a drained sharded engine."""
+    report = ShardAuditReport()
+    report.clients_checked = len(engine.clients)
+    epochs, observed, order_violations = check_span_order(engine)
+    report.epochs_checked = epochs
+    report.span_observations = observed
+    report.order_violations = order_violations
+    report.replica_report = check_replicas_any_shard(
+        engine.shard_states,
+        {
+            client_id: engine.clients[client_id].stable
+            for client_id in engine.live_client_ids()
+        },
+    )
+    return report

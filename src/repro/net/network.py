@@ -125,6 +125,17 @@ class Network:
         self.meter = TrafficMeter()
         self._handlers: Dict[ClientId, Handler] = {}
         self._links: Dict[Tuple[ClientId, ClientId], Link] = {}
+        #: Ids treated as star hubs.  The classic topology has exactly
+        #: one (:data:`SERVER_ID`); sharded deployments declare their
+        #: extra serializer hosts via :meth:`add_server` before any
+        #: client registers.  A list, not a set: registration iterates
+        #: it, and iteration order must be deterministic.
+        self._server_ids: list[ClientId] = [SERVER_ID]
+        #: One-way latency of server<->server backbone links (sharded
+        #: deployments).  Backbone sends bypass fault injection and the
+        #: ARQ layer: shards are modelled as co-located machines on a
+        #: reliable FIFO interconnect.
+        self.server_link_latency_ms: TimeMs = 1.0
         #: Handlers of crashed hosts, kept so :meth:`reconnect` can
         #: restore them without the host re-registering.
         self._parked: Dict[ClientId, Handler] = {}
@@ -140,38 +151,56 @@ class Network:
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
+    def add_server(self, server_id: ClientId) -> None:
+        """Declare ``server_id`` an additional star hub (sharded
+        deployments).
+
+        Must be called before any client registers: each subsequently
+        registered client gets an uplink/downlink pair to *every*
+        declared server.  Server<->server backbone links are created
+        lazily on first use with ``server_link_latency_ms`` one-way
+        latency and no bandwidth cap.
+        """
+        if server_id not in self._server_ids:
+            self._server_ids.append(server_id)
+
+    def is_server(self, host_id: ClientId) -> bool:
+        """Whether ``host_id`` is a declared server hub."""
+        return host_id in self._server_ids
+
     def register(self, host_id: ClientId, handler: Handler) -> None:
         """Attach a host and its message handler.
 
-        Registering a client creates its uplink/downlink pair to the
-        server; registering the server just records the handler.
+        Registering a client creates its uplink/downlink pairs to every
+        server; registering a server just records the handler.
         """
         if host_id in self._handlers:
             raise NetworkError(f"host {host_id} is already registered")
         self._parked.pop(host_id, None)
         self._handlers[host_id] = handler
-        if host_id == SERVER_ID:
+        if host_id in self._server_ids:
             return
         if (host_id, SERVER_ID) in self._links:
             # Re-registration after a crash/unregister: the physical
             # links (and their counters) persist.
             return
-        self._links[(host_id, SERVER_ID)] = Link(
-            self.sim,
-            host_id,
-            SERVER_ID,
-            latency_ms=self.one_way_ms,
-            bandwidth_bps=self.bandwidth_bps,
-            obs=self._obs,
-        )
-        self._links[(SERVER_ID, host_id)] = Link(
-            self.sim,
-            SERVER_ID,
-            host_id,
-            latency_ms=self.one_way_ms,
-            bandwidth_bps=self.server_bandwidth_bps or self.bandwidth_bps,
-            obs=self._obs,
-        )
+        for server_id in self._server_ids:
+            self._links[(host_id, server_id)] = Link(
+                self.sim,
+                host_id,
+                server_id,
+                latency_ms=self.one_way_ms,
+                bandwidth_bps=self.bandwidth_bps,
+                obs=self._obs,
+            )
+            self._links[(server_id, host_id)] = Link(
+                self.sim,
+                server_id,
+                host_id,
+                latency_ms=self.one_way_ms,
+                bandwidth_bps=self.server_bandwidth_bps or self.bandwidth_bps,
+                obs=self._obs,
+            )
 
     def unregister(self, host_id: ClientId) -> None:
         """Detach a host permanently (client leaves for good).
@@ -247,9 +276,23 @@ class Network:
         try:
             return self._links[(src, dst)]
         except KeyError:
+            src_is_server = src in self._server_ids
+            dst_is_server = dst in self._server_ids
+            if src_is_server and dst_is_server:
+                # Shard backbone: low-latency, uncapped, created lazily.
+                link = Link(
+                    self.sim,
+                    src,
+                    dst,
+                    latency_ms=self.server_link_latency_ms,
+                    bandwidth_bps=None,
+                    obs=self._obs,
+                )
+                self._links[(src, dst)] = link
+                return link
             if (
-                src != SERVER_ID
-                and dst != SERVER_ID
+                not src_is_server
+                and not dst_is_server
                 and src in self._handlers
                 and dst in self._handlers
             ):
@@ -291,6 +334,11 @@ class Network:
         """
         if src not in self._handlers:
             raise NetworkError(f"sender {src} is not registered")
+        if src in self._server_ids and dst in self._server_ids:
+            # Backbone traffic is reliable FIFO by construction: equal
+            # link latency, no jitter, no loss — so the ARQ layer and
+            # the fault injector are both bypassed.
+            return self._send_raw(src, dst, payload, size_bytes, inject_faults=False)
         if self.reliability is not None and reliable is not False:
             return self._send_reliable(src, dst, payload, size_bytes)
         return self._send_raw(src, dst, payload, size_bytes)
@@ -309,7 +357,7 @@ class Network:
         Figure 9 measures for the Broadcast architecture.
         """
         for host_id in list(self._handlers):
-            if host_id == SERVER_ID or host_id == exclude:
+            if host_id in self._server_ids or host_id == exclude:
                 continue
             self.send(SERVER_ID, host_id, payload, size_bytes)
 
@@ -317,14 +365,20 @@ class Network:
     # Raw (fault-injected) path
     # ------------------------------------------------------------------
     def _send_raw(
-        self, src: ClientId, dst: ClientId, payload: object, size_bytes: int
+        self,
+        src: ClientId,
+        dst: ClientId,
+        payload: object,
+        size_bytes: int,
+        *,
+        inject_faults: bool = True,
     ) -> TimeMs:
         link = self.link(src, dst)
         self.meter.record(src, dst, size_bytes)
         dropped = False
         extra_delay: TimeMs = 0.0
         duplicate = False
-        if self.faults is not None:
+        if self.faults is not None and inject_faults:
             dropped, extra_delay, duplicate = self.faults.decide(
                 src, dst, self.sim.now
             )

@@ -20,11 +20,12 @@ class TrafficMeter:
     Traffic is attributed to both endpoints so that per-host uplink and
     downlink totals can be reported, and to the (src, dst) pair for
     fan-out analysis.  Sent-side counters are monotonically increasing;
-    ``bytes_received`` is provisionally credited at send time and
-    debited again if fault injection drops the message or the receiver
-    is gone when it arrives (:meth:`note_dropped`,
+    ``bytes_received`` and ``pair_bytes`` are provisionally credited at
+    send time and debited again if fault injection drops the message or
+    the receiver is gone when it arrives (:meth:`note_dropped`,
     :meth:`note_undelivered`), so end-of-run totals reflect what hosts
-    actually received.
+    actually received — per pair as well as per host, and never
+    negative.
     """
 
     def __init__(self) -> None:
@@ -64,11 +65,13 @@ class TrafficMeter:
         self.messages_dropped += 1
         self.bytes_dropped += size_bytes
         self.bytes_received[dst] -= size_bytes
+        self.pair_bytes[(src, dst)] -= size_bytes
 
     def note_undelivered(self, src: ClientId, dst: ClientId, size_bytes: int) -> None:
         """A sent message arrived at a host that no longer exists."""
         self.messages_undelivered += 1
         self.bytes_received[dst] -= size_bytes
+        self.pair_bytes[(src, dst)] -= size_bytes
 
     def note_duplicate(self) -> None:
         """One duplicate delivery happened (or was discarded by ARQ)."""

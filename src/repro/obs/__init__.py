@@ -306,6 +306,49 @@ class Observer:
         if self.profile is not None:
             self.profile.record("server.relay")
 
+    def on_shard_forward(self, now_ms: TimeMs, owner: int, involved: int) -> None:
+        """An owner shard forwarded a spanning action to the sequencer."""
+        self.metrics.counter("server.shard.forwards").inc()
+        if self.trace is not None:
+            self.trace.instant(
+                "shard.forward",
+                now_ms,
+                track=f"shard-{owner}",
+                args={"involved": involved},
+            )
+
+    def on_shard_splice(
+        self, now_ms: TimeMs, shard: int, gsn: int, pos: int
+    ) -> None:
+        """A shard spliced a sequenced spanning action into its stream."""
+        self.metrics.counter("server.shard.splices").inc()
+        if self.trace is not None:
+            self.trace.instant(
+                "shard.splice",
+                now_ms,
+                track=f"shard-{shard}",
+                args={"gsn": gsn, "pos": pos},
+            )
+
+    def on_shard_handoff(
+        self,
+        now_ms: TimeMs,
+        client_id: ClientId,
+        src_shard: int,
+        dst_shard: int,
+        stage: str,
+    ) -> None:
+        """One stage of a client handoff (``prepare``/``transfer``/
+        ``adopt``) between shards."""
+        self.metrics.counter(f"server.shard.handoff.{stage}").inc()
+        if self.trace is not None:
+            self.trace.instant(
+                "shard.handoff",
+                now_ms,
+                track=f"shard-{src_shard}",
+                args={"client": client_id, "to": dst_shard, "stage": stage},
+            )
+
     def on_hybrid_bundle(
         self, now_ms: TimeMs, members: int, deduplicated: int
     ) -> None:

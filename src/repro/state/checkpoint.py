@@ -11,8 +11,9 @@ can be restored from checkpoint + audit-log replay
 (:meth:`repro.metrics.audit.AuditLog.replay`).
 
 The format is deliberately boring: a sorted JSON object mapping object
-ids to attribute dicts, with tuples encoded as tagged lists so the
-round trip is exact.
+ids to attribute dicts, with tuples and dict values encoded as tagged
+lists (and lists recursed) so the round trip is exact even for nested
+dict/tuple/list values.
 """
 
 from __future__ import annotations
@@ -29,19 +30,38 @@ from repro.types import TimeMs
 FORMAT = "repro-checkpoint-v1"
 
 _TUPLE_TAG = "__tuple__"
+_DICT_TAG = "__dict__"
 
 
 def _encode_value(value):
     if isinstance(value, tuple):
         return {_TUPLE_TAG: [_encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        # Tagged as a key/value pair list: JSON objects only carry
+        # string keys, and untagged dicts would be indistinguishable
+        # from the tuple encoding above.
+        return {
+            _DICT_TAG: [
+                [_encode_value(k), _encode_value(v)] for k, v in value.items()
+            ]
+        }
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
     return value
 
 
 def _decode_value(value):
     if isinstance(value, dict):
-        if set(value) != {_TUPLE_TAG}:
-            raise ProtocolError(f"unexpected mapping in checkpoint: {value!r}")
-        return tuple(_decode_value(v) for v in value[_TUPLE_TAG])
+        if set(value) == {_TUPLE_TAG}:
+            return tuple(_decode_value(v) for v in value[_TUPLE_TAG])
+        if set(value) == {_DICT_TAG}:
+            return {
+                _decode_value(k): _decode_value(v)
+                for k, v in value[_DICT_TAG]
+            }
+        raise ProtocolError(f"unexpected mapping in checkpoint: {value!r}")
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
     return value
 
 

@@ -18,6 +18,23 @@ ClientId = int
 #: Reserved host id of the (single) server in every architecture.
 SERVER_ID: ClientId = -1
 
+#: Base of the reserved host-id range for shard servers (sharded
+#: deployments, :mod:`repro.core.sharded`).  Shard 0 keeps
+#: :data:`SERVER_ID` so a one-shard deployment is wire-identical to the
+#: classic single server; shard k > 0 lives at ``SHARD_ID_BASE - k``.
+SHARD_ID_BASE: ClientId = -100
+
+
+def shard_host_id(shard: int) -> ClientId:
+    """Network host id of shard ``shard``.
+
+    >>> shard_host_id(0)
+    -1
+    >>> shard_host_id(2)
+    -102
+    """
+    return SERVER_ID if shard == 0 else SHARD_ID_BASE - shard
+
 #: Virtual time, in milliseconds since the start of the simulation.
 TimeMs = float
 

@@ -37,6 +37,27 @@ def test_roundtrip_exact():
     assert isinstance(restored.get("avatar:0")["pos"], tuple)
 
 
+def test_roundtrip_dicts_nested_in_tuples():
+    """Regression: a dict nested inside a tuple attribute used to come
+    back as the raw JSON object — string keys only, and a dict shaped
+    like ``{"__tuple__": [...]}`` was indistinguishable from the tuple
+    encoding itself.  The tagged codec round-trips them exactly."""
+    store = ObjectStore([
+        WorldObject("npc:0", {
+            "inv": (("gold", 3), {"keys": (1, 2)}),
+            "by_id": ({7: "seven", (1, 2): "pair"},),
+            "tricky": ({"__tuple__": [1, 2]},),
+        }),
+    ])
+    restored = load_store(dump_store(store))
+    assert restored.diff(store) == {}
+    npc = restored.get("npc:0")
+    assert npc["inv"] == (("gold", 3), {"keys": (1, 2)})
+    assert isinstance(npc["inv"][1]["keys"], tuple)
+    assert npc["by_id"] == ({7: "seven", (1, 2): "pair"},)
+    assert npc["tricky"] == ({"__tuple__": [1, 2]},)
+
+
 def test_dump_is_canonical():
     a = sample_store()
     b = sample_store()
@@ -171,6 +192,88 @@ def test_recovery_from_checkpoint_plus_replay():
 
     assert policy.latest is not None
     # Recovery: load the checkpoint, replay WAL records after it.
+    recovered = policy.restore_latest()
+    for record in wal.records:
+        if record.pos > policy.covered_upto:
+            recovered.merge(record.values())
+    for obj in engine.state.objects():
+        assert recovered.get(obj.oid) == obj, obj.oid
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("sharded", [False, True], ids=["single", "one-shard"])
+def test_recovery_under_lossy_transport(sharded):
+    """Checkpoint + WAL replay reconstructs the live final state even
+    when the run itself fought a lossy, jittery network over the ARQ
+    transport — for the classic engine and a one-shard deployment."""
+    from repro.core.engine import SeveConfig, SeveEngine
+    from repro.core.sharded import ShardedSeveEngine, ShardingConfig
+    from repro.metrics.audit import AuditLog
+    from repro.net.faults import FaultPlan, ReliabilityConfig, RetryPolicy
+    from repro.world.manhattan import ManhattanConfig, ManhattanWorld
+
+    world = ManhattanWorld(
+        4,
+        ManhattanConfig(width=150.0, height=150.0, num_walls=20,
+                        spawn="cluster", spawn_extent=40.0, seed=6),
+    )
+    config = SeveConfig(
+        mode="seve",
+        rtt_ms=100.0,
+        tick_ms=20.0,
+        fault_plan=FaultPlan(loss_rate=0.08, jitter_ms=30.0,
+                             duplicate_rate=0.03, seed=4),
+        reliability=ReliabilityConfig.for_rtt(100.0),
+        retry=RetryPolicy.for_rtt(100.0),
+    )
+    if sharded:
+        engine = ShardedSeveEngine(
+            world, 4, config,
+            sharding=ShardingConfig(shards=1, world_width=150.0),
+        )
+    else:
+        engine = SeveEngine(world, 4, config)
+    engine.start(stop_at=60_000)
+
+    initial = ObjectStore([obj.copy() for obj in engine.state.objects()])
+    policy = CheckpointPolicy(engine.state, interval_commits=5,
+                              clock=lambda: engine.sim.now)
+    wal = AuditLog()
+
+    def on_commit(pos, client_id, values):
+        wal.record(pos, client_id, engine.sim.now, values)
+        policy.on_commit(pos, client_id, values)
+
+    engine.server.on_commit = on_commit
+
+    for cid in range(4):
+        client = engine.client(cid)
+
+        def submit(cid=cid, client=client, n={"left": 8}):
+            if n["left"] <= 0:
+                return
+            n["left"] -= 1
+            client.submit(world.plan_move(
+                client.optimistic, cid, client.next_action_id(), cost_ms=1.0
+            ))
+
+        engine.sim.call_every(150.0, submit, start_delay=4.0 + cid,
+                              stop_at=1500.0)
+    engine.run(until=3000.0)
+    engine.run_to_quiescence()
+
+    # The run really fought the fault plan.
+    assert engine.network.meter.messages_dropped > 0
+    assert engine.network.meter.retransmissions > 0
+    assert len(wal) > 0
+    assert policy.latest is not None
+
+    # Full-WAL replay over the initial state equals the live state.
+    replayed = wal.replay(initial)
+    for obj in engine.state.objects():
+        assert replayed.get(obj.oid) == obj, obj.oid
+
+    # Checkpoint restore + post-checkpoint WAL suffix equals it too.
     recovered = policy.restore_latest()
     for record in wal.records:
         if record.pos > policy.covered_upto:

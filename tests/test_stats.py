@@ -29,6 +29,26 @@ def test_traffic_meter_kb():
     assert meter.total_kb == pytest.approx(2.0)
 
 
+def test_loss_debits_pair_bytes_alongside_receive_bytes():
+    """Regression: note_dropped/note_undelivered used to take back the
+    per-host receive credit but not the per-pair credit, inflating
+    fan-out analyses under fault plans."""
+    meter = TrafficMeter()
+    meter.record(0, -1, 100)
+    meter.record(0, -1, 60)
+    meter.record(1, -1, 40)
+    meter.note_dropped(0, -1, 60)
+    assert meter.pair_bytes[(0, -1)] == 100
+    assert meter.pair_bytes[(1, -1)] == 40
+    assert meter.bytes_received[-1] == 140
+    # Send-side accounting keeps the dropped bytes: they hit the wire.
+    assert meter.bytes_sent[0] == 160
+    assert meter.bytes_dropped == 60
+    meter.note_undelivered(1, -1, 40)
+    assert meter.pair_bytes[(1, -1)] == 0
+    assert meter.bytes_received[-1] == 100
+
+
 def test_summary_of_empty_is_nan():
     stats = SummaryStats.of([])
     assert stats.count == 0
