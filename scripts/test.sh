@@ -17,36 +17,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
-# Determinism lint: the simulation must be a pure function of its
-# seeds, so wall-clock reads and unseeded RNGs are banned from the
-# library (tests/benchmarks may use them).  Iterating a set literal is
-# banned too: at these sizes order is insertion order in CPython, but
-# relying on that is exactly the kind of thing that breaks replay.
-determinism_lint() {
-  local bad=0
-  if grep -rn --include='*.py' -E 'time\.time\(\)|time\.monotonic\(\)' src/repro/; then
-    echo 'determinism lint: wall-clock read in src/repro (use the simulator clock)' >&2
-    bad=1
-  fi
-  if grep -rn --include='*.py' -E 'random\.(random|randint|choice|shuffle|uniform)\(' src/repro/; then
-    echo 'determinism lint: module-level random.* call in src/repro (use a seeded Random)' >&2
-    bad=1
-  fi
-  if grep -rn --include='*.py' -E 'random\.Random\(\)' src/repro/; then
-    echo 'determinism lint: unseeded random.Random() in src/repro' >&2
-    bad=1
-  fi
-  if grep -rn --include='*.py' -E 'for [A-Za-z_, ]+ in \{[^}:]*\}:' src/repro/; then
-    echo 'determinism lint: iteration over a set literal in src/repro (order is not part of the language contract)' >&2
-    bad=1
-  fi
-  return "$bad"
+# Static analysis (docs/static_analysis.md): the AST determinism
+# linter — the simulation must be a pure function of its seeds, so
+# wall-clock reads, unseeded RNGs, unsorted set/dict iteration, and
+# id() ordering are banned from the library — plus the RW-set escape
+# checker over every Action subclass (compute/apply must only touch
+# declared object ids).  The JSON mode is exercised too so the CI
+# output format cannot rot.
+static_analysis() {
+  python scripts/lint.py --check determinism src/repro scripts examples
+  python scripts/lint.py --check rwset src/repro/world examples
+  python scripts/lint.py --check determinism --json src/repro \
+    | python -c 'import json,sys; json.load(sys.stdin)'
 }
 
 # Documentation lint (links resolve; docs/index.md covers docs/*.md)
 # and the executable examples embedded in docstrings.
 lint_and_doctests() {
-  determinism_lint
+  static_analysis
   python scripts/docs_lint.py
   python -m pytest -x -q --doctest-modules \
     src/repro/obs src/repro/metrics/report.py src/repro/net/stats.py \

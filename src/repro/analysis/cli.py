@@ -1,0 +1,200 @@
+"""Command-line front end for the static checks: ``python -m
+repro.analysis`` (docs/static_analysis.md).
+
+Runs the determinism linter and/or the static RW-set escape analysis
+over a set of files or directories and prints findings one per line
+(``path:line:col: [rule] message``), or a JSON document with ``--json``
+for CI consumption.
+
+Exit codes
+----------
+0   clean — no findings beyond the baseline
+1   findings were reported
+2   usage error (unknown path, unreadable baseline, syntax error in a
+    checked file)
+
+A baseline file (``--baseline``) holds the keys of previously accepted
+findings; matching findings are filtered out so the checks can be
+introduced over an imperfect tree and ratcheted.  ``--write-baseline``
+rewrites the file to accept everything currently reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint import Finding, lint_paths
+from repro.analysis.rwset_static import RWSetEscape, check_paths
+
+#: Default targets per check when no paths are given on the command
+#: line.  The determinism linter covers the whole library; the RW-set
+#: checker only makes sense where Action subclasses live.
+_DEFAULT_PATHS = {
+    "determinism": ["src/repro"],
+    "rwset": ["src/repro/world", "examples"],
+}
+
+BaselineKey = Tuple[str, str, int]
+
+
+def _load_baseline(path: Path) -> Set[BaselineKey]:
+    """Read accepted finding keys from a baseline JSON file."""
+    data = json.loads(path.read_text())
+    return {
+        (str(entry[0]), str(entry[1]), int(entry[2]))
+        for entry in data.get("findings", [])
+    }
+
+
+def _write_baseline(path: Path, keys: Sequence[BaselineKey]) -> None:
+    document = {
+        "comment": (
+            "Accepted pre-existing findings of `python -m repro.analysis`; "
+            "see docs/static_analysis.md.  Regenerate with --write-baseline."
+        ),
+        "findings": [list(key) for key in sorted(set(keys))],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+
+
+def _finding_dict(finding) -> dict:
+    """JSON form of a lint Finding or an RWSetEscape."""
+    if isinstance(finding, Finding):
+        return {
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "rule": finding.rule,
+            "message": finding.message,
+        }
+    assert isinstance(finding, RWSetEscape)
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "rule": "rwset-escape",
+        "message": finding.message,
+        "class": finding.cls,
+        "method": finding.method,
+        "kind": finding.kind,
+        "expr": finding.expr,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism linter and static RW-set conformance checker "
+            "for the repro codebase (docs/static_analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (defaults depend on --check)",
+    )
+    parser.add_argument(
+        "--check",
+        choices=["determinism", "rwset", "all"],
+        default="determinism",
+        help="which analysis to run (default: determinism)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a JSON document instead of one finding per line",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="suppress findings whose (path, rule, line) appear in FILE",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline to accept every current finding",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory findings are reported relative to (default: cwd)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    root = (args.root or Path.cwd()).resolve()
+
+    checks = ["determinism", "rwset"] if args.check == "all" else [args.check]
+    findings: List = []
+    try:
+        for check in checks:
+            paths = [Path(p).resolve() for p in args.paths] or [
+                root / p for p in _DEFAULT_PATHS[check]
+            ]
+            for path in paths:
+                if not Path(path).exists():
+                    print(f"error: no such path: {path}", file=sys.stderr)
+                    return 2
+            if check == "determinism":
+                findings.extend(lint_paths(paths, root=root))
+            else:
+                findings.extend(check_paths(paths, root=root))
+    except (SyntaxError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    findings.sort(key=lambda f: (f.path, f.line))
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline", file=sys.stderr)
+            return 2
+        _write_baseline(args.baseline, [f.key() for f in findings])
+        print(
+            f"wrote {len(findings)} accepted finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline: Set[BaselineKey] = set()
+    if args.baseline is not None:
+        try:
+            baseline = _load_baseline(args.baseline)
+        except (OSError, json.JSONDecodeError, ValueError, IndexError) as exc:
+            print(
+                f"error: unreadable baseline {args.baseline}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    fresh = [f for f in findings if f.key() not in baseline]
+
+    if args.json:
+        document = {
+            "checks": checks,
+            "count": len(fresh),
+            "baselined": len(findings) - len(fresh),
+            "findings": [_finding_dict(f) for f in fresh],
+        }
+        print(json.dumps(document, indent=2))
+    else:
+        for finding in fresh:
+            print(finding.render())
+        if fresh:
+            print(
+                f"{len(fresh)} finding(s); see docs/static_analysis.md for "
+                "the rule catalogue and suppression syntax",
+                file=sys.stderr,
+            )
+    return 1 if fresh else 0

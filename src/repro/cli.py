@@ -68,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-consistency-check", action="store_true",
         help="skip the Theorem 1 sweep at quiescence",
     )
+    run.add_argument(
+        "--rwset-sanitizer", nargs="?", const="raise", default="off",
+        choices=("off", "report", "raise"), metavar="MODE",
+        help="check every store access during action evaluation against "
+        "the declared RS/WS (docs/static_analysis.md); bare flag = "
+        "'raise' (abort on first violation), 'report' collects them "
+        "into the run report instead",
+    )
     faults = run.add_argument_group(
         "fault injection (docs/fault_model.md)"
     )
@@ -152,6 +160,7 @@ def _command_run(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
         shards=args.shards,
+        rwset_sanitizer=args.rwset_sanitizer,
         fault_plan=_fault_plan(args),
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
@@ -174,6 +183,11 @@ def _command_run(args: argparse.Namespace) -> int:
     table.add_row("avg visible avatars", result.avg_visible)
     if result.consistency is not None:
         table.add_row("consistency", result.consistency.summary())
+    if args.rwset_sanitizer != "off":
+        table.add_row(
+            "rwset violations",
+            len(result.rwset_violations) if result.rwset_violations else 0,
+        )
     if result.shard_audit is not None:
         table.add_row("cross-shard audit", result.shard_audit.summary())
     if settings.fault_plan is not None:
@@ -192,9 +206,16 @@ def _command_run(args: argparse.Namespace) -> int:
         print(f"trace written to {settings.trace_out}")
     if settings.metrics_out is not None:
         print(f"metrics written to {settings.metrics_out}")
+    if result.rwset_violations:
+        print()
+        print("RW-set sanitizer violations:")
+        for violation in result.rwset_violations:
+            print(f"  {violation}")
     if result.consistency is not None and not result.consistency.consistent:
         return 1
     if result.shard_audit is not None and not result.shard_audit.consistent:
+        return 1
+    if result.rwset_violations:
         return 1
     return 0
 

@@ -20,6 +20,18 @@ same read-set values must produce the same result — that is what makes
 optimistic/stable comparison and Theorem 1 work.  Implementations that
 need randomness must derive it from ``self.action_id`` (see
 :meth:`Action.stable_nonce`).
+
+Neither half of the contract is taken on faith (see
+docs/static_analysis.md): the :mod:`repro.analysis.lint` AST linter
+bans the nondeterminism sources (wall clocks, unseeded RNGs, unsorted
+set iteration) from the library; :mod:`repro.analysis.rwset_static`
+checks statically that ``compute``/``apply`` can only touch declared
+object ids; and the :mod:`repro.analysis.sanitizer` RW-set sanitizer
+(``--rwset-sanitizer``) records every actual store access during
+:meth:`Action.apply` at runtime and flags reads outside RS(a) and
+writes outside WS(a) — the undeclared-*write* check below catches only
+half of the lie, and an undeclared read silently breaks replica
+convergence.
 """
 
 from __future__ import annotations
@@ -142,8 +154,20 @@ class Action(abc.ABC):
 
         Returns the :class:`ActionResult` (the *v* / *u* of Algorithms
         1 and 4).  Enforces the declared write set: computing values for
-        an undeclared object is a protocol bug and raises.
+        an undeclared object is a protocol bug and raises.  Undeclared
+        *reads* are invisible to this check — the opt-in RW-set
+        sanitizer (:mod:`repro.analysis.sanitizer`) catches those by
+        scoping every store access to this action.
         """
+        scope = store.action_scope
+        if scope is not None:
+            with scope(self):
+                return self._apply(store)
+        return self._apply(store)
+
+    def _apply(self, store: ObjectStore) -> ActionResult:
+        """The unscoped evaluation body (override point for subclasses
+        that replace the compute/write-back cycle, e.g. blind writes)."""
         try:
             values = self.compute(store)
         except ActionAborted:
@@ -226,7 +250,7 @@ class BlindWrite(Action):
         """Return the stored values verbatim (installing absent objects)."""
         return {oid: dict(attrs) for oid, attrs in self._values.items()}
 
-    def apply(self, store: ObjectStore) -> ActionResult:
+    def _apply(self, store: ObjectStore) -> ActionResult:
         """Install the values (objects need not pre-exist in the store).
 
         Ordinary closure-seed blind writes carry *complete* committed

@@ -177,7 +177,8 @@ def transitive_closure(
         cursor = base_pos + candidate_index
         while accumulated:
             best = -1
-            for oid in accumulated:
+            # Max-accumulation: visit order cannot change `best`.
+            for oid in accumulated:  # lint: allow(set-iteration)
                 writer = writer_index.last_writer_before(oid, cursor)
                 if writer > best:
                     best = writer

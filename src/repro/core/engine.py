@@ -34,6 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.sanitizer import (
+    SanitizerRecorder,
+    resolve_mode as resolve_sanitizer_mode,
+    wrap_store as wrap_sanitized,
+)
 from repro.core.action import Action, ActionId
 from repro.core.client import ClientConfig, ProtocolClient
 from repro.core.first_bound import FirstBoundPredicate
@@ -124,11 +129,23 @@ class SeveConfig:
     #: identity, and observation never changes results (the differential
     #: tests pin this).
     obs: Optional[object] = field(default=None, compare=False, repr=False)
+    #: Dynamic RW-set sanitizer (docs/static_analysis.md): check every
+    #: store access during ``Action.apply`` on client replicas against
+    #: the action's declared RS/WS.  ``"raise"`` aborts on the first
+    #: violation, ``"report"`` collects them into the run result,
+    #: ``"off"`` disables, and ``None`` defers to the process-wide
+    #: ambient mode (:func:`repro.analysis.sanitizer.resolve_mode`).
+    rwset_sanitizer: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ConfigurationError(
                 f"unknown mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.rwset_sanitizer not in (None, "off", "report", "raise"):
+            raise ConfigurationError(
+                f"unknown rwset_sanitizer {self.rwset_sanitizer!r}; "
+                "expected None, 'off', 'report', or 'raise'"
             )
 
 
@@ -168,6 +185,14 @@ class SeveEngine:
         self.response_times = LatencySampler()
         #: Actions dropped by the Information Bound Model, per client.
         self.dropped: Dict[ClientId, List[ActionId]] = {}
+        sanitizer_mode = resolve_sanitizer_mode(self.config.rwset_sanitizer)
+        #: Shared violation sink for every sanitized client store
+        #: (``None`` when the sanitizer is off — the common case).
+        self.rwset_recorder = (
+            SanitizerRecorder(mode=sanitizer_mode)
+            if sanitizer_mode != "off"
+            else None
+        )
         self._build_server()
         self.clients: Dict[ClientId, ProtocolClient] = {}
         self.client_hosts: Dict[ClientId, Host] = {}
@@ -301,6 +326,14 @@ class SeveEngine:
             stable = self._partial_initial_state(client_id)
         else:
             stable = self.state.snapshot()
+        if self.rwset_recorder is not None:
+            # The client snapshots this store for its optimistic replica,
+            # and SanitizedStore.snapshot stays sanitized — so one wrap
+            # here covers ζ_CS and ζ_CO (and, via inheritance, every
+            # shard-attached client of the sharded engine too).
+            stable = wrap_sanitized(
+                stable, self.rwset_recorder, label=f"client{client_id}"
+            )
         server, server_id = self._home_server(client_id)
         client = ProtocolClient(
             self.sim,

@@ -146,6 +146,7 @@ def build_engine(
             # (pure bookkeeping — never changes scheduling).
             record_observations=settings.shards > 1,
             obs=obs,
+            rwset_sanitizer=settings.rwset_sanitizer,
         )
         if settings.shards > 1:
             from repro.core.sharded import ShardedSeveEngine, ShardingConfig
@@ -169,6 +170,11 @@ def build_engine(
         raise ConfigurationError(
             f"--shards > 1 requires a push-mode SEVE architecture "
             f"('seve' or 'seve-naive'); got {architecture!r}"
+        )
+    if settings.rwset_sanitizer not in (None, "off"):
+        raise ConfigurationError(
+            f"--rwset-sanitizer is only wired through the SEVE engines "
+            f"(the RS/WS contract is theirs); got {architecture!r}"
         )
     baseline_config = BaselineConfig(
         rtt_ms=settings.rtt_ms,

@@ -91,6 +91,13 @@ class SimulationSettings:
     #: K > 1 requires a push mode (``seve`` / ``seve-naive``) and no
     #: crash plan.
     shards: int = 1
+    #: Dynamic RW-set sanitizer mode (``--rwset-sanitizer``; see
+    #: docs/static_analysis.md): "raise" aborts on the first undeclared
+    #: store access during an apply, "report" collects violations into
+    #: ``RunResult.rwset_violations``, "off" disables, ``None`` defers
+    #: to the process-wide ambient default.  Only wired through the
+    #: SEVE engines (the RS/WS contract is theirs).
+    rwset_sanitizer: Optional[str] = None
 
     # -- faults (docs/fault_model.md) --------------------------------------
     #: Deterministic fault injection; ``None`` (or a null plan) keeps the
@@ -134,6 +141,11 @@ class SimulationSettings:
             raise ConfigurationError("move_interval_ms must be positive")
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.rwset_sanitizer not in (None, "off", "report", "raise"):
+            raise ConfigurationError(
+                f"unknown rwset_sanitizer {self.rwset_sanitizer!r}; "
+                "expected None, 'off', 'report', or 'raise'"
+            )
 
     @property
     def effective_threshold(self) -> float:

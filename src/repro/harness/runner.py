@@ -77,6 +77,11 @@ class RunResult:
     retransmissions: int = 0
     #: Clients the server's liveness sweep presumed dead (Section III-C).
     clients_evicted: int = 0
+    #: Rendered RW-set sanitizer violations (``--rwset-sanitizer
+    #: report``; see docs/static_analysis.md).  Empty when the sanitizer
+    #: was off or the run was clean; ``raise`` mode never gets here —
+    #: the first violation aborts the run.
+    rwset_violations: tuple = ()
     #: Per-phase breakdown (``--profile``): phase name ->
     #: {count, sim_ms, wall_ms}.  ``None`` when profiling was off.
     profile: Optional[Dict[str, Dict[str, float]]] = None
@@ -286,6 +291,14 @@ def run_simulation(
         messages_duplicated=meter.messages_duplicated,
         retransmissions=meter.retransmissions,
         clients_evicted=clients_evicted,
+        rwset_violations=tuple(
+            violation.render()
+            for violation in (
+                engine.rwset_recorder.violations
+                if getattr(engine, "rwset_recorder", None) is not None
+                else ()
+            )
+        ),
         profile=profile,
         shard_audit=shard_audit,
         shard_rows=shard_rows,

@@ -42,7 +42,11 @@ def _encode_value(value):
         # from the tuple encoding above.
         return {
             _DICT_TAG: [
-                [_encode_value(k), _encode_value(v)] for k, v in value.items()
+                # Checkpoints are per-replica recovery artifacts, never
+                # compared byte-wise across replicas; preserving the
+                # dict's own order keeps the round trip faithful.
+                [_encode_value(k), _encode_value(v)]
+                for k, v in value.items()  # lint: allow(dict-iter-serialization)
             ]
         }
     if isinstance(value, list):

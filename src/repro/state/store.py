@@ -31,6 +31,13 @@ class ObjectStore:
     cheap cross-replica consistency comparison.
     """
 
+    #: RW-set sanitizer hook (docs/static_analysis.md).  ``None`` on the
+    #: plain store; :class:`repro.analysis.sanitizer.SanitizedStore`
+    #: overrides it with a method returning a per-action scope.
+    #: :meth:`Action.apply` consults it with a single attribute load, so
+    #: unsanitized stores pay nothing beyond one ``is None`` test.
+    action_scope = None
+
     def __init__(self, objects: Iterable[WorldObject] = ()) -> None:
         self._objects: Dict[ObjectId, WorldObject] = {}
         for obj in objects:

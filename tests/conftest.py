@@ -16,6 +16,26 @@ from repro.types import SERVER_ID
 from repro.world.manhattan import ManhattanConfig, ManhattanWorld
 
 
+@pytest.fixture(autouse=True)
+def _ambient_rwset_sanitizer():
+    """Run every engine the suite builds under the RW-set sanitizer.
+
+    Engines whose config leaves ``rwset_sanitizer`` unset defer to the
+    process-wide ambient mode (docs/static_analysis.md), so setting it
+    here turns every test run into a conformance check of the world's
+    declared read/write sets — a lying action fails its test instead of
+    silently diverging.  Tests that need the sanitizer off (e.g. the
+    differential baseline) pass an explicit mode.
+    """
+    from repro.analysis.sanitizer import set_ambient_mode
+
+    previous = set_ambient_mode("raise")
+    try:
+        yield
+    finally:
+        set_ambient_mode(previous)
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()

@@ -1,0 +1,20 @@
+"""Lint corpus: unsorted dict iteration inside a serialization path
+(expect 1 x dict-iter-serialization)."""
+
+
+def serialize_state(state):
+    parts = []
+    for key, value in state.items():
+        parts.append(f"{key}={value}")
+    return ";".join(parts)
+
+
+def tick_state(state):
+    # Allowed: not a serialization path, so insertion order is fine.
+    for key, value in state.items():
+        state[key] = value + 1
+
+
+def encode_header(fields):
+    # Allowed: sorted() canonicalises the order.
+    return ";".join(f"{k}={v}" for k, v in sorted(fields.items()))

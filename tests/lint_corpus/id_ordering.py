@@ -1,0 +1,11 @@
+"""Lint corpus: id() used for ordering (expect 4 x id-ordering)."""
+
+
+def rank(objs, a, b):
+    ranked = sorted(objs, key=id)
+    objs.sort(key=id)
+    smallest = min(objs, key=id)
+    a_first = id(a) < id(b)
+    # Allowed: id() for identity bookkeeping, not ordering.
+    seen = {id(obj) for obj in objs}
+    return ranked, smallest, a_first, seen

@@ -1,0 +1,13 @@
+"""Lint corpus: global-RNG draws (expect 3 x module-random)."""
+
+import random
+
+
+def roll_dice(options):
+    first = random.random()
+    second = random.randint(1, 6)
+    third = random.choice(options)
+    # Allowed: drawing from an explicitly seeded instance.
+    rng = random.Random(7)
+    fourth = rng.random()
+    return first, second, third, fourth

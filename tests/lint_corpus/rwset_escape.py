@@ -1,0 +1,40 @@
+"""Lint corpus for the static RW-set checker: one honest action, one
+that escapes its declared sets four ways (expect 4 x rwset-escape)."""
+
+
+class Action:
+    """Stand-in base: discovery keys on the name, not the import."""
+
+
+class SneakyAction(Action):
+    def __init__(self, action_id, target, victim):
+        self.victim = victim  # never fed into reads=/writes=
+        super().__init__(
+            action_id,
+            reads=frozenset({target}),
+            writes=frozenset({target}),
+        )
+        self.target = target
+
+    def compute(self, store):
+        hp = store.get(self.victim).get("hp")
+        config = store.get("global-config")
+        for oid in store:
+            hp += 0
+        return {self.victim: {"hp": hp - config.get("decay")}}
+
+
+class HonestAction(Action):
+    def __init__(self, action_id, target, witness):
+        super().__init__(
+            action_id,
+            reads=frozenset({target, witness}),
+            writes=frozenset({target}),
+        )
+        self.target = target
+        self.witness = witness
+
+    def compute(self, store):
+        seen = store.get(self.witness).get("hp")
+        current = store.get(self.target).get("hp")
+        return {self.target: {"hp": current + min(seen, 1)}}

@@ -1,0 +1,17 @@
+"""Lint corpus: unsorted set iteration (expect 3 x set-iteration)."""
+
+
+def visit_all(extra):
+    order = []
+    for item in {3, 1, 2}:
+        order.append(item)
+    pending = {"a", "b"} | extra
+    for item in pending:
+        order.append(item)
+    order.extend(x for x in frozenset(extra))
+    # Allowed: sorted() fixes the order.
+    for item in sorted(pending):
+        order.append(item)
+    # Allowed: order-insensitive reducers over a set-typed generator.
+    present = any(x in order for x in pending)
+    return order, present

@@ -1,0 +1,11 @@
+"""Lint corpus: per-line suppressions silence every rule (expect 0)."""
+
+import time
+
+
+def sample_with_waivers():
+    stamp = time.time()  # lint: allow(wall-clock)
+    total = 0.0
+    for item in {1, 2, 3}:  # lint: allow(set-iteration)
+        total += item
+    return stamp, total

@@ -1,0 +1,11 @@
+"""Lint corpus: OS-seeded RNG construction (expect 2 x unseeded-random)."""
+
+import random
+from random import Random
+
+
+def make_generators(seed):
+    bad_qualified = random.Random()
+    bad_bare = Random()
+    good = random.Random(seed)
+    return bad_qualified, bad_bare, good

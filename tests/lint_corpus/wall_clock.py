@@ -1,0 +1,15 @@
+"""Lint corpus: wall-clock reads (expect 4 x wall-clock)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_events(log):
+    started = time.time()
+    deadline = time.monotonic() + 5.0
+    log.append(datetime.now())
+    log.append(datetime.utcnow())
+    # Allowed: perf_counter feeds wall-clock telemetry, which never
+    # enters a simulated result.
+    elapsed = time.perf_counter() - started
+    return deadline, elapsed

@@ -1,0 +1,240 @@
+"""Regression tests for the dynamic RW-set sanitizer
+(docs/static_analysis.md) — and for the protocol hole it closes.
+
+:meth:`Action.apply` has always rejected values computed for undeclared
+*writes*, but an undeclared *read* was invisible: an action whose
+``compute`` peeks at an object outside RS(a) still applies cleanly, and
+two replicas that agree on RS(a) but differ on the peeked object
+silently diverge — exactly the Theorem 1 failure the declared sets
+exist to prevent.  The first tests demonstrate that divergence on plain
+stores; the rest prove the sanitizer catches the lie, in both modes, on
+both the unit store and a fully assembled engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    RWSetViolation,
+    SanitizedStore,
+    SanitizerRecorder,
+    ambient_mode,
+    wrap_store,
+)
+from repro.core.action import Action, ActionId
+from repro.core.engine import SeveConfig, SeveEngine
+from repro.errors import ProtocolError
+from repro.state.objects import WorldObject
+from repro.state.store import ObjectStore
+
+
+class LyingReadAction(Action):
+    """Declares RS = WS = {target} but bases its write on ``peek``."""
+
+    def __init__(self, action_id: ActionId, target: str, peek: str = "wind"):
+        super().__init__(
+            action_id,
+            reads=frozenset({target}),
+            writes=frozenset({target}),
+        )
+        self.target = target
+        self.peek = peek
+
+    def compute(self, store):
+        direction = store.get(self.peek).get("direction")  # lint: allow(rwset-escape)
+        return {self.target: {"pos": direction}}
+
+
+class LyingWriteAction(Action):
+    """Declares RS = WS = {target} but merges state into 'bystander'."""
+
+    def __init__(self, action_id: ActionId, target: str):
+        super().__init__(
+            action_id,
+            reads=frozenset({target}),
+            writes=frozenset({target}),
+        )
+        self.target = target
+
+    def compute(self, store):
+        return {self.target: {"pos": store.get(self.target).get("pos")}}
+
+    def _apply(self, store):
+        store.merge({"bystander": {"hit": True}})  # lint: allow(rwset-escape)
+        return super()._apply(store)
+
+
+def _replica(wind_direction: int, store_cls=ObjectStore, **kwargs):
+    return store_cls(
+        [
+            WorldObject("avatar", {"pos": 0}),
+            WorldObject("wind", {"direction": wind_direction}),
+            WorldObject("bystander", {"hit": False}),
+        ],
+        **kwargs,
+    )
+
+
+def test_undeclared_read_diverges_replicas_without_the_sanitizer():
+    # Two replicas agree on RS(a) = {avatar} but differ on 'wind'.
+    east, west = _replica(1), _replica(2)
+    result_east = LyingReadAction(ActionId(0, 0), "avatar").apply(east)
+    result_west = LyingReadAction(ActionId(0, 0), "avatar").apply(west)
+    # Nothing raised — and the replicas have now silently diverged.
+    assert result_east != result_west
+    assert east.get("avatar") != west.get("avatar")
+
+
+def test_sanitizer_catches_the_undeclared_read():
+    store = _replica(1, SanitizedStore)
+    with pytest.raises(RWSetViolation) as excinfo:
+        LyingReadAction(ActionId(0, 0), "avatar").apply(store)
+    violation = excinfo.value.violation
+    assert violation.kind == "read"
+    assert violation.oid == "wind"
+    assert violation.declared == frozenset({"avatar"})
+    assert "LyingReadAction" in violation.render()
+    # The store was not corrupted before the raise.
+    assert store.get("avatar").get("pos") == 0
+
+
+def test_sanitizer_catches_the_undeclared_write():
+    store = _replica(1, SanitizedStore)
+    with pytest.raises(RWSetViolation) as excinfo:
+        LyingWriteAction(ActionId(0, 0), "avatar").apply(store)
+    assert excinfo.value.violation.kind == "write"
+    assert excinfo.value.violation.oid == "bystander"
+
+
+def test_report_mode_collects_and_lets_the_run_continue():
+    recorder = SanitizerRecorder(mode="report")
+    store = _replica(1, SanitizedStore, recorder=recorder, label="c0")
+    LyingReadAction(ActionId(0, 0), "avatar").apply(store)
+    LyingWriteAction(ActionId(0, 1), "avatar").apply(store)
+    assert [v.kind for v in recorder.violations] == ["read", "write"]
+    assert all(v.store == "c0" for v in recorder.violations)
+    # The lying write went through in report mode.
+    assert store.get("bystander").get("hit") is True
+
+
+def test_honest_apply_is_clean_but_checked():
+    class HonestAction(Action):
+        def __init__(self):
+            super().__init__(
+                ActionId(0, 0),
+                reads=frozenset({"avatar"}),
+                writes=frozenset({"avatar"}),
+            )
+
+        def compute(self, store):
+            return {"avatar": {"pos": store.get("avatar").get("pos") + 1}}
+
+    recorder = SanitizerRecorder(mode="raise")
+    store = _replica(1, SanitizedStore, recorder=recorder)
+    HonestAction().apply(store)
+    assert recorder.violations == []
+    assert recorder.scopes_entered == 1
+    assert recorder.reads_checked > 0
+    assert store.get("avatar").get("pos") == 1
+
+
+def test_accesses_outside_an_apply_are_unchecked():
+    # Reconciliation/seeding legitimately touch arbitrary objects.
+    store = _replica(1, SanitizedStore)
+    assert store.get("wind").get("direction") == 1
+    store.merge({"bystander": {"hit": True}})
+    assert store.recorder.violations == []
+
+
+def test_snapshot_stays_sanitized_and_shares_the_recorder():
+    store = _replica(1, SanitizedStore)
+    clone = store.snapshot()
+    assert isinstance(clone, SanitizedStore)
+    assert clone.recorder is store.recorder
+    with pytest.raises(RWSetViolation):
+        LyingReadAction(ActionId(0, 0), "avatar").apply(clone)
+
+
+def test_wrap_store_is_a_view_not_a_copy():
+    plain = _replica(1)
+    wrapped = wrap_store(plain, SanitizerRecorder(mode="report"), label="c1")
+    wrapped.merge({"avatar": {"pos": 9}})
+    assert plain.get("avatar").get("pos") == 9
+
+
+def test_plain_store_has_no_scope_hook():
+    # The zero-overhead contract: unsanitized stores expose no scope at
+    # all, so Action.apply takes the unchecked fast path.
+    assert ObjectStore.action_scope is None
+    assert _replica(1).action_scope is None
+
+
+def test_undeclared_write_values_still_raise_protocol_error():
+    # The pre-existing half of the check is unchanged: computing values
+    # for an undeclared object raises even on a plain store.
+    class OverreachingAction(Action):
+        def __init__(self):
+            super().__init__(
+                ActionId(0, 0),
+                reads=frozenset({"avatar", "wind"}),
+                writes=frozenset({"avatar"}),
+            )
+
+        def compute(self, store):
+            return {"wind": {"direction": 0}}
+
+    with pytest.raises(ProtocolError):
+        OverreachingAction().apply(_replica(1))
+
+
+def test_engine_runs_under_the_sanitizer_and_actually_checks(small_world):
+    # The conftest fixture sets the ambient mode, so an unset config
+    # resolves to "raise" and every client replica gets wrapped.
+    assert ambient_mode() == "raise"
+    engine = SeveEngine(small_world, 4, SeveConfig(mode="seve"))
+    assert engine.rwset_recorder is not None
+    engine.start(stop_at=5_000)
+    for client_id in (0, 1):
+        client = engine.clients[client_id]
+        move = small_world.plan_move(
+            engine.planning_store(client_id),
+            client_id,
+            client.next_action_id(),
+            cost_ms=1.0,
+        )
+        engine.submit(client_id, move)
+    engine.sim.run(until=5_000)
+    assert engine.rwset_recorder.scopes_entered > 0
+    assert engine.rwset_recorder.reads_checked > 0
+    assert engine.rwset_recorder.violations == []
+
+
+def test_engine_report_mode_surfaces_a_lying_action(small_world):
+    # Full seeding so the undeclared object exists in the replica: the
+    # lie then goes through silently instead of tripping a missing-read
+    # abort — precisely the case only the sanitizer can see.
+    engine = SeveEngine(
+        small_world,
+        2,
+        SeveConfig(
+            mode="incomplete", rwset_sanitizer="report", seed_full_state=True
+        ),
+    )
+    engine.start(stop_at=3_000)
+    target = small_world.avatar_of(0)
+    peeked = small_world.avatar_of(1)
+    lying = LyingReadAction(
+        engine.clients[0].next_action_id(), target, peek=peeked
+    )
+    engine.submit(0, lying)
+    engine.sim.run(until=3_000)
+    assert any(v.oid == peeked for v in engine.rwset_recorder.violations)
+    assert all(v.kind == "read" for v in engine.rwset_recorder.violations)
+
+
+def test_config_rejects_unknown_sanitizer_mode():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        SeveConfig(rwset_sanitizer="loud")

@@ -1,0 +1,95 @@
+"""Self-test of the static RW-set escape analysis
+(docs/static_analysis.md).
+
+The checker must (1) flag every way the corpus's SneakyAction escapes
+its declared sets, with file:line provenance; (2) accept honest
+actions, including the repo's real world actions and examples — that
+clean sweep is what scripts/test.sh enforces; (3) honour the
+``# lint: allow(rwset-escape)`` waiver and contract inheritance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.rwset_static import check_paths
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = Path(__file__).resolve().parent / "lint_corpus"
+
+
+def test_corpus_sneaky_action_escapes_are_all_caught():
+    escapes = check_paths([CORPUS / "rwset_escape.py"], root=REPO)
+    assert [e.cls for e in escapes] == ["SneakyAction"] * 4
+    kinds = [e.kind for e in escapes]
+    assert kinds.count("read") == 3  # undeclared attr, literal id, whole store
+    assert kinds.count("write") == 1  # values keyed by the undeclared attr
+    for escape in escapes:
+        assert escape.path == "tests/lint_corpus/rwset_escape.py"
+        assert escape.line > 0
+        assert escape.method == "compute"
+        assert f":{escape.line}:" in escape.render()
+
+
+def test_repo_world_actions_and_examples_are_clean():
+    escapes = check_paths(
+        [REPO / "src" / "repro" / "world", REPO / "examples"], root=REPO
+    )
+    assert escapes == [], "\n".join(e.render() for e in escapes)
+
+
+def test_honest_action_with_helper_methods_is_clean(tmp_path):
+    # Safe-expression propagation: locals bound from declared attrs,
+    # loop variables over them, and sorted()/frozenset() wrappers.
+    path = tmp_path / "honest.py"
+    path.write_text(
+        "class Action: pass\n"
+        "class Sweep(Action):\n"
+        "    def __init__(self, action_id, targets):\n"
+        "        super().__init__(action_id, reads=frozenset(targets),\n"
+        "                         writes=frozenset(targets))\n"
+        "        self.targets = targets\n"
+        "    def compute(self, store):\n"
+        "        values = {}\n"
+        "        chosen = sorted(self.targets)\n"
+        "        for oid in chosen:\n"
+        "            hp = store.get(oid).get('hp')\n"
+        "            values[oid] = {'hp': hp + 1}\n"
+        "        return values\n"
+    )
+    assert check_paths([path]) == []
+
+
+def test_subclass_without_init_inherits_the_contract(tmp_path):
+    path = tmp_path / "inherit.py"
+    path.write_text(
+        "class Action: pass\n"
+        "class Base(Action):\n"
+        "    def __init__(self, action_id, target):\n"
+        "        super().__init__(action_id, reads=frozenset({target}),\n"
+        "                         writes=frozenset({target}))\n"
+        "        self.target = target\n"
+        "class Derived(Base):\n"
+        "    def compute(self, store):\n"
+        "        return {self.target: {'hp': store.get(self.target).get('hp')}}\n"
+    )
+    assert check_paths([path]) == []
+
+
+def test_allow_comment_waives_a_single_escape(tmp_path):
+    path = tmp_path / "waived.py"
+    path.write_text(
+        "class Action: pass\n"
+        "class Peeker(Action):\n"
+        "    def __init__(self, action_id, target):\n"
+        "        super().__init__(action_id, reads=frozenset({target}),\n"
+        "                         writes=frozenset({target}))\n"
+        "        self.target = target\n"
+        "    def compute(self, store):\n"
+        "        a = store.get('waived-id')  # lint: allow(rwset-escape)\n"
+        "        b = store.get('flagged-id')\n"
+        "        return {self.target: {'hp': 0}}\n"
+    )
+    escapes = check_paths([path])
+    assert len(escapes) == 1
+    assert "flagged-id" in escapes[0].expr

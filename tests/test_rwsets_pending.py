@@ -96,6 +96,44 @@ def test_backward_chain_skips_covered_independent():
     assert chain == [1]
 
 
+def test_empty_set_action_is_legal_and_conflict_free():
+    empty = action(0, [], [])
+    writer = action(1, [], ["x"])
+    assert empty.reads == frozenset() and empty.writes == frozenset()
+    assert not conflicts(empty, writer)
+    assert not conflicts(writer, empty)
+    assert read_set_union([empty]) == frozenset()
+    assert write_set_union([empty]) == frozenset()
+
+
+def test_rs_must_contain_ws_at_construction():
+    # RS ⊇ WS is enforced when the action is built, not when it runs.
+    with pytest.raises(ProtocolError):
+        SetsAction(ActionId(0, 0), reads={"x"}, writes={"x", "y"})
+
+
+def test_conflicts_is_asymmetric():
+    # conflicts(a, b) asks whether a's writes touch b's reads; a pure
+    # reader conflicts with nothing downstream of it.
+    writer = action(0, [], ["x"])
+    reader = SetsAction(ActionId(0, 1), reads={"x"}, writes=set())
+    assert conflicts(writer, reader)
+    assert not conflicts(reader, writer)
+
+
+def test_backward_chain_never_includes_empty_ws_actions():
+    # Chains are built from writers; a pure reader can never join one,
+    # even when its read set overlaps the seed.
+    queue = [
+        SetsAction(ActionId(0, 0), reads={"x", "y"}, writes=set()),
+        action(1, [], ["x"]),
+    ]
+    chain, accumulated = backward_chain(queue, frozenset({"x"}))
+    assert chain == [1]
+    assert "x" in accumulated
+    assert "y" not in accumulated
+
+
 @given(
     data=st.lists(
         st.tuples(

@@ -1,0 +1,111 @@
+"""Differential proof of the sanitizer's zero-interference contract: a
+run with the RW-set sanitizer enabled must be byte-identical, in every
+deterministic output, to the same run without it
+(docs/static_analysis.md).
+
+The sanitizer only *observes* — it changes no return values, schedules
+no events, draws no randomness — so enabling it may not move a single
+measurement.  Compared exactly as in tests/test_obs_differential.py:
+every deterministic RunResult field plus the rendered report as bytes.
+The lossy variant repeats the check under fault injection, and the
+sharded variant proves the wrap covers shard-attached clients too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import RunResult, run_simulation
+from repro.metrics.report import Table
+from repro.net.faults import FaultPlan
+
+SETTINGS = SimulationSettings(
+    num_clients=10,
+    num_walls=200,
+    moves_per_client=8,
+    world_width=300.0,
+    world_height=300.0,
+    spawn="cluster",
+    spawn_extent=100.0,
+    rtt_ms=150.0,
+    bandwidth_bps=None,
+    move_interval_ms=250.0,
+    cost_model="fixed",
+    move_cost_ms=1.0,
+    eval_overhead_ms=0.1,
+    seed=11,
+)
+
+LOSSY_SETTINGS = SETTINGS.with_(
+    fault_plan=FaultPlan(
+        loss_rate=0.08, jitter_ms=30.0, duplicate_rate=0.03, seed=5
+    )
+)
+
+
+def _fingerprint(result: RunResult) -> dict:
+    """Every deterministic (virtual-time) field of a RunResult."""
+    return {
+        "response": result.response,
+        "total_traffic_kb": result.total_traffic_kb,
+        "client_traffic_kb": result.client_traffic_kb,
+        "server_traffic_kb": result.server_traffic_kb,
+        "drop_percent": result.drop_percent,
+        "avg_visible": result.avg_visible,
+        "avg_move_cost_ms": result.avg_move_cost_ms,
+        "virtual_ms": result.virtual_ms,
+        "events": result.events,
+        "moves_submitted": result.moves_submitted,
+        "responses_observed": result.responses_observed,
+        "total_cpu_ms": result.total_cpu_ms,
+        "closure_cpu_ms": result.closure_cpu_ms,
+        "messages_dropped": result.messages_dropped,
+        "messages_duplicated": result.messages_duplicated,
+        "retransmissions": result.retransmissions,
+        "clients_evicted": result.clients_evicted,
+        "rwset_violations": result.rwset_violations,
+        "consistent": (
+            None if result.consistency is None else result.consistency.summary()
+        ),
+    }
+
+
+def _report_bytes(result: RunResult) -> bytes:
+    table = Table(f"report — {result.architecture}", ("metric", "value"))
+    for name, value in _fingerprint(result).items():
+        table.add_row(name, value)
+    return table.render().encode()
+
+
+def _run_pair(architecture: str, settings: SimulationSettings):
+    off = run_simulation(architecture, settings.with_(rwset_sanitizer="off"))
+    on = run_simulation(architecture, settings.with_(rwset_sanitizer="raise"))
+    return off, on
+
+
+@pytest.mark.parametrize("architecture", ["seve", "incomplete"])
+def test_sanitized_run_is_byte_identical_to_unsanitized(architecture):
+    off, on = _run_pair(architecture, SETTINGS)
+    assert _fingerprint(off) == _fingerprint(on)
+    assert _report_bytes(off) == _report_bytes(on)
+    assert off.moves_submitted > 0  # not vacuous
+
+
+def test_sanitized_sharded_run_is_byte_identical():
+    sharded = SETTINGS.with_(shards=2)
+    off, on = _run_pair("seve", sharded)
+    assert _fingerprint(off) == _fingerprint(on)
+    assert _report_bytes(off) == _report_bytes(on)
+    assert off.shard_rows is not None and len(off.shard_rows) == 2
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_sanitized_lossy_run_is_byte_identical():
+    off, on = _run_pair("seve", LOSSY_SETTINGS)
+    assert _fingerprint(off) == _fingerprint(on)
+    assert _report_bytes(off) == _report_bytes(on)
+    # The degraded network really exercised the recovery machinery
+    # while every recovered apply was being checked.
+    assert on.retransmissions > 0
