@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 tests + the push-path wall-clock benchmark.
+# Tier-1 tests + the push-path and parallel-backend wall-clock benchmarks.
 #
 # Runs the full test suite (differential/property tests included), then
-# regenerates BENCH_pushpath.json (repo root + benchmarks/results/) so
-# every PR leaves a fresh before/after perf record.
+# regenerates BENCH_pushpath.json and BENCH_parallel.json (repo root +
+# benchmarks/results/) so every PR leaves a fresh before/after perf
+# record.  BENCH_parallel.json is the K in {1,2,4,8} x {inproc,parallel}
+# real-core sweep of the multiprocessing shard backend; its >=2x-at-K=4
+# acceptance gate only applies on hosts with >= 4 cores.
 #
 # Usage:  scripts/bench.sh [--quick]        (--quick: smaller end-to-end run)
 set -euo pipefail

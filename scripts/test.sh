@@ -4,9 +4,11 @@
 #
 # Usage:
 #   scripts/test.sh            everything: lints, doctests, fast suite,
-#                              sharded smoke run, slow differentials,
-#                              fault matrix
-#   scripts/test.sh --fast     lints, doctests, fast suite (pre-commit gate)
+#                              sharded + parallel smoke runs, the
+#                              parallel-backend differential, slow
+#                              differentials, fault matrix
+#   scripts/test.sh --fast     lints, doctests, fast suite, parallel
+#                              smoke (pre-commit gate)
 #   scripts/test.sh --faults   fault matrix only (-m faults)
 #
 # The fault matrix replays degraded-network and churn scenarios (loss,
@@ -48,10 +50,19 @@ sharded_smoke() {
     --seed 7 >/dev/null
 }
 
+# Same run through the multiprocessing backend (docs/parallel.md): two
+# spawned shard workers behind the CLI; exercises worker launch, the
+# codec transport, bundle routing, and the merged audit/report path.
+parallel_smoke() {
+  python -m repro run seve --clients 8 --walls 0 --moves 10 --shards 2 \
+    --backend parallel --seed 7 >/dev/null
+}
+
 case "${1:-}" in
   --fast)
     lint_and_doctests
     python -m pytest -x -q -m "not slow"
+    parallel_smoke
     ;;
   --faults)
     python -m pytest -x -q -m faults
@@ -60,6 +71,9 @@ case "${1:-}" in
     lint_and_doctests
     python -m pytest -x -q -m "not slow"
     sharded_smoke
+    parallel_smoke
+    # Full parallel-vs-inproc differential (clean + lossy, K ∈ {1,2,4})
+    python -m pytest -x -q tests/test_parallel_backend.py
     python -m pytest -x -q -m "slow and not faults"
     python -m pytest -x -q -m faults
     ;;

@@ -65,6 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(docs/sharding.md); requires a push-mode SEVE architecture",
     )
     run.add_argument(
+        "--backend", choices=("inproc", "parallel"), default="inproc",
+        help="execution backend (docs/parallel.md): 'inproc' runs "
+        "everything in this process, 'parallel' runs shard partitions "
+        "in spawned worker processes; results are byte-identical",
+    )
+    run.add_argument(
+        "--workers", type=int, default=0,
+        help="partition count for the windowed scheduler (0 = auto: "
+        "1 for inproc, one per shard for parallel; clamped to --shards)",
+    )
+    run.add_argument(
         "--no-consistency-check", action="store_true",
         help="skip the Theorem 1 sweep at quiescence",
     )
@@ -160,6 +171,8 @@ def _command_run(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
         shards=args.shards,
+        backend=args.backend,
+        workers=args.workers,
         rwset_sanitizer=args.rwset_sanitizer,
         fault_plan=_fault_plan(args),
         trace_out=args.trace_out,

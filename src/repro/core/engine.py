@@ -104,6 +104,11 @@ class SeveConfig:
     #: equivalent to the brute-force scans; the differential tests turn
     #: them off to prove it.  Simulated costs are unaffected either way.
     use_distribution_indexes: bool = True
+    #: One-way latency (ms) of the shard-to-shard backbone links
+    #: (:class:`repro.core.sharded.ShardedSeveEngine`); ignored by the
+    #: single-serializer engines.  Also bounds the windowed partition
+    #: scheduler's lookahead (docs/parallel.md).
+    backbone_latency_ms: float = 1.0
     costs: ServerCosts = field(default_factory=ServerCosts)
     #: Retained committed versions per object on the server (``None`` =
     #: unbounded, which the Theorem 1 consistency checks rely on; bound

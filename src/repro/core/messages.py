@@ -3,14 +3,26 @@
 Messages are plain dataclasses; their simulated wire size is computed by
 :func:`wire_size` so that the traffic meter (Figure 9) sees realistic
 relative magnitudes without a real serialization format.
+
+For transports that really do cross a process boundary (the parallel
+shard backend, :mod:`repro.net.backend`) the module also provides
+:class:`MessageCodec`, a compact binary encoding: length-prefixed,
+tag-dispatched struct frames for every protocol message, with hot
+payloads (move actions, blind writes, results) field-encoded and an
+object-payload pickle fallback for anything exotic.  The encoding is
+self-delimiting, so the same frames can back a checkpoint or WAL file.
 """
 
 from __future__ import annotations
 
+import io
+import pickle
+import struct
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.core.action import Action, ActionId, ActionResult
+from repro.core.action import Action, ActionId, ActionResult, BlindWrite
+from repro.errors import ProtocolError
 from repro.types import ClientId, TimeMs
 
 
@@ -282,3 +294,642 @@ def wire_size(message: object) -> int:
 
 def _result_size(result: ActionResult) -> int:
     return sum(8 + 12 * len(attrs) for _, attrs in result.written)
+
+
+# ----------------------------------------------------------------------
+# Binary codec
+# ----------------------------------------------------------------------
+class CodecError(ProtocolError):
+    """A binary frame could not be encoded or decoded.
+
+    Raised for truncated frames, unknown message tags, and decode
+    contexts that lack the world geometry a payload references.
+    """
+
+
+_FRAME_HEADER = struct.Struct(">BI")  # (tag, body length)
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_ACTION_ID = struct.Struct(">qq")
+_VEC2 = struct.Struct(">dd")
+
+#: Frame tags.  Values are part of the on-wire format: never renumber.
+_TAG_SUBMIT = 1
+_TAG_ORDERED = 2
+_TAG_BATCH = 3
+_TAG_COMPLETION = 4
+_TAG_ABORT_NOTICE = 5
+_TAG_STATE_UPDATE = 6
+_TAG_HEARTBEAT = 7
+_TAG_RELAYED = 8
+_TAG_PEER_FORWARD = 9
+_TAG_GROUP_BUNDLE = 10
+_TAG_SPAN_FORWARD = 16
+_TAG_SPAN_SPLICE = 17
+_TAG_SPAN_RESULT = 18
+_TAG_SPAN_ABORT = 19
+_TAG_HANDOFF_PREPARE = 20
+_TAG_HANDOFF_READY = 21
+_TAG_HANDOFF_TRANSFER = 22
+_TAG_HANDOFF_WELCOME = 23
+_TAG_ARQ_PACKET = 24
+_TAG_ARQ_ACK = 25
+_TAG_PICKLED = 127
+
+#: Action sub-tags (inside frame bodies).
+_ACT_MOVE = ord("M")
+_ACT_BLIND = ord("B")
+_ACT_PICKLED = ord("P")
+
+#: GroupBundle member-item markers: shared-table reference vs inline entry.
+_GB_REF = ord("R")
+_GB_ENTRY = ord("E")
+
+#: Attribute-value sub-tags.
+_VAL_NONE = ord("N")
+_VAL_TRUE = ord("T")
+_VAL_FALSE = ord("F")
+_VAL_INT = ord("I")
+_VAL_FLOAT = ord("D")
+_VAL_STR = ord("S")
+_VAL_TUPLE = ord("U")
+_VAL_PICKLED = ord("P")
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: Token stored in pickle streams wherever a wall field appeared; the
+#: decoding codec resolves it to its own bound :class:`WallField` so the
+#: (large, immutable, world-derived) wall index never crosses the wire.
+_WALLS_TOKEN = "walls"
+
+
+class _Reader:
+    """Cursor over an immutable buffer; every read checks bounds."""
+
+    __slots__ = ("_view", "pos")
+
+    def __init__(self, data: bytes, pos: int = 0) -> None:
+        self._view = memoryview(data)
+        self.pos = pos
+
+    def remaining(self) -> int:
+        return len(self._view) - self.pos
+
+    def read(self, count: int) -> memoryview:
+        if count < 0 or self.remaining() < count:
+            raise CodecError(
+                f"truncated frame: wanted {count} bytes at offset "
+                f"{self.pos}, have {self.remaining()}"
+            )
+        chunk = self._view[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def unpack(self, fmt: struct.Struct) -> tuple:
+        return fmt.unpack(self.read(fmt.size))
+
+    def byte(self) -> int:
+        return self.read(1)[0]
+
+
+class MessageCodec:
+    """Binary encoder/decoder for the protocol messages above.
+
+    A codec is bound to a decode context: the world's
+    :class:`~repro.world.walls.WallField`, which move actions reference
+    but never ship (it is seed-derived, identical on every host).  The
+    encoder is context-free; decoding a move action (or any pickled
+    payload that mentions walls) without a bound wall field raises
+    :class:`CodecError`.
+
+    Frames are ``tag:u8 | body_length:u32 | body`` and self-delimiting:
+    concatenated frames form a valid stream for
+    :meth:`encode_sequence` / :meth:`decode_sequence`.
+    """
+
+    def __init__(self, walls=None) -> None:
+        self._walls = walls
+        # net-layer ARQ frames travel through worker bundles too; the
+        # import is deferred here to keep repro.core free of a
+        # module-level dependency on repro.net.
+        from repro.net.network import _Ack, _Packet
+
+        self._packet_cls = _Packet
+        self._ack_cls = _Ack
+
+    # -- public API -----------------------------------------------------
+    def encode(self, message: object) -> bytes:
+        """Encode one message as a single self-delimiting frame."""
+        tag, body = self._encode_body(message)
+        if len(body) > 0xFFFFFFFF:
+            raise CodecError(f"frame body too large: {len(body)} bytes")
+        return _FRAME_HEADER.pack(tag, len(body)) + bytes(body)
+
+    def decode(self, data: bytes) -> object:
+        """Decode exactly one frame; trailing bytes are an error."""
+        reader = _Reader(data)
+        message = self._decode_frame(reader)
+        if reader.remaining():
+            raise CodecError(
+                f"{reader.remaining()} trailing bytes after frame"
+            )
+        return message
+
+    def encode_sequence(self, messages) -> bytes:
+        """Concatenate the frames of ``messages`` into one buffer."""
+        return b"".join(self.encode(message) for message in messages)
+
+    def decode_sequence(self, data: bytes) -> list:
+        """Decode a buffer of concatenated frames into a list."""
+        reader = _Reader(data)
+        messages = []
+        while reader.remaining():
+            messages.append(self._decode_frame(reader))
+        return messages
+
+    # -- frame bodies ---------------------------------------------------
+    def _encode_body(self, message: object) -> Tuple[int, bytearray]:
+        out = bytearray()
+        if isinstance(message, SubmitAction):
+            self._w_action(out, message.action)
+            return _TAG_SUBMIT, out
+        if isinstance(message, OrderedAction):
+            out += _I64.pack(message.pos)
+            self._w_action(out, message.action)
+            return _TAG_ORDERED, out
+        if isinstance(message, ActionBatch):
+            out += _I64.pack(message.last_installed)
+            out += _U32.pack(len(message.entries))
+            for entry in message.entries:
+                out += _I64.pack(entry.pos)
+                self._w_action(out, entry.action)
+            return _TAG_BATCH, out
+        if isinstance(message, Completion):
+            out += _I64.pack(message.pos)
+            out += _ACTION_ID.pack(*message.action_id)
+            out += _I64.pack(message.reporter)
+            self._w_result(out, message.result)
+            return _TAG_COMPLETION, out
+        if isinstance(message, AbortNotice):
+            out += _ACTION_ID.pack(*message.action_id)
+            return _TAG_ABORT_NOTICE, out
+        if isinstance(message, StateUpdate):
+            self._w_written(out, message.values)
+            self._w_optional_action_id(out, message.cause)
+            out += _F64.pack(message.submitted_at)
+            return _TAG_STATE_UPDATE, out
+        if isinstance(message, Heartbeat):
+            out += _I64.pack(message.sender)
+            return _TAG_HEARTBEAT, out
+        if isinstance(message, RelayedAction):
+            out += _F64.pack(message.submitted_at)
+            self._w_action(out, message.action)
+            return _TAG_RELAYED, out
+        if isinstance(message, PeerForward):
+            out += _I64.pack(message.final_dst)
+            out += self.encode(message.payload)
+            return _TAG_PEER_FORWARD, out
+        if isinstance(message, GroupBundle):
+            out += _I64.pack(message.last_installed)
+            out += _U32.pack(len(message.shared))
+            for entry in message.shared:
+                out += _I64.pack(entry.pos)
+                self._w_action(out, entry.action)
+            out += _U32.pack(len(message.members))
+            for member, items in message.members:
+                out += _I64.pack(member)
+                out += _U32.pack(len(items))
+                for item in items:
+                    if isinstance(item, int):
+                        out.append(_GB_REF)
+                        out += _I64.pack(item)
+                    else:
+                        out.append(_GB_ENTRY)
+                        out += _I64.pack(item.pos)
+                        self._w_action(out, item.action)
+            return _TAG_GROUP_BUNDLE, out
+        if isinstance(message, SpanForward):
+            out += _I64.pack(message.owner)
+            self._w_shard_tuple(out, message.involved)
+            self._w_action(out, message.action)
+            return _TAG_SPAN_FORWARD, out
+        if isinstance(message, SpanSplice):
+            out += _I64.pack(message.gsn)
+            out += _I64.pack(message.owner)
+            self._w_shard_tuple(out, message.involved)
+            self._w_action(out, message.action)
+            return _TAG_SPAN_SPLICE, out
+        if isinstance(message, SpanResult):
+            out += _I64.pack(message.gsn)
+            out += _ACTION_ID.pack(*message.action_id)
+            self._w_result(out, message.result)
+            return _TAG_SPAN_RESULT, out
+        if isinstance(message, SpanAbort):
+            out += _I64.pack(message.gsn)
+            out += _ACTION_ID.pack(*message.action_id)
+            return _TAG_SPAN_ABORT, out
+        if isinstance(message, HandoffPrepare):
+            out += _I64.pack(message.new_shard)
+            return _TAG_HANDOFF_PREPARE, out
+        if isinstance(message, HandoffReady):
+            out += _I64.pack(message.client_id)
+            return _TAG_HANDOFF_READY, out
+        if isinstance(message, HandoffTransfer):
+            out += _I64.pack(message.client_id)
+            out += _F64.pack(message.radius)
+            if message.interests is None:
+                out.append(0)
+            else:
+                out.append(1)
+                out += _U32.pack(len(message.interests))
+                for interest in sorted(message.interests):
+                    self._w_str(out, interest)
+            out += _U32.pack(len(message.resolved))
+            for action_id in message.resolved:
+                out += _ACTION_ID.pack(*action_id)
+            return _TAG_HANDOFF_TRANSFER, out
+        if isinstance(message, HandoffWelcome):
+            out += _I64.pack(message.shard)
+            out += _U32.pack(len(message.resolved))
+            for action_id in message.resolved:
+                out += _ACTION_ID.pack(*action_id)
+            return _TAG_HANDOFF_WELCOME, out
+        if isinstance(message, self._packet_cls):
+            out += _I64.pack(message.seq)
+            out += _I64.pack(message.base)
+            if message.payload is None:
+                out.append(0)
+            else:
+                out.append(1)
+                out += self.encode(message.payload)
+            return _TAG_ARQ_PACKET, out
+        if isinstance(message, self._ack_cls):
+            out += _I64.pack(message.upto)
+            return _TAG_ARQ_ACK, out
+        blob = self._pickle(message)
+        out += blob
+        return _TAG_PICKLED, out
+
+    def _decode_frame(self, reader: _Reader) -> object:
+        tag, length = reader.unpack(_FRAME_HEADER)
+        body = _Reader(bytes(reader.read(length)))
+        message = self._decode_body(tag, body)
+        if body.remaining():
+            raise CodecError(
+                f"tag {tag}: {body.remaining()} undecoded body bytes"
+            )
+        return message
+
+    def _decode_body(self, tag: int, r: _Reader) -> object:
+        if tag == _TAG_SUBMIT:
+            return SubmitAction(self._r_action(r))
+        if tag == _TAG_ORDERED:
+            (pos,) = r.unpack(_I64)
+            return OrderedAction(pos, self._r_action(r))
+        if tag == _TAG_BATCH:
+            (last_installed,) = r.unpack(_I64)
+            (count,) = r.unpack(_U32)
+            entries = tuple(
+                OrderedAction(r.unpack(_I64)[0], self._r_action(r))
+                for _ in range(count)
+            )
+            return ActionBatch(entries, last_installed)
+        if tag == _TAG_COMPLETION:
+            (pos,) = r.unpack(_I64)
+            action_id = ActionId(*r.unpack(_ACTION_ID))
+            (reporter,) = r.unpack(_I64)
+            return Completion(pos, action_id, self._r_result(r), reporter)
+        if tag == _TAG_ABORT_NOTICE:
+            return AbortNotice(ActionId(*r.unpack(_ACTION_ID)))
+        if tag == _TAG_STATE_UPDATE:
+            values = self._r_written(r)
+            cause = self._r_optional_action_id(r)
+            (submitted_at,) = r.unpack(_F64)
+            return StateUpdate(values, cause, submitted_at)
+        if tag == _TAG_HEARTBEAT:
+            return Heartbeat(r.unpack(_I64)[0])
+        if tag == _TAG_RELAYED:
+            (submitted_at,) = r.unpack(_F64)
+            return RelayedAction(self._r_action(r), submitted_at)
+        if tag == _TAG_PEER_FORWARD:
+            (final_dst,) = r.unpack(_I64)
+            return PeerForward(final_dst, self._decode_frame(r))
+        if tag == _TAG_GROUP_BUNDLE:
+            (last_installed,) = r.unpack(_I64)
+            (count,) = r.unpack(_U32)
+            shared = tuple(
+                OrderedAction(r.unpack(_I64)[0], self._r_action(r))
+                for _ in range(count)
+            )
+            (member_count,) = r.unpack(_U32)
+            members = []
+            for _ in range(member_count):
+                (member,) = r.unpack(_I64)
+                (item_count,) = r.unpack(_U32)
+                items = []
+                for _ in range(item_count):
+                    kind = r.byte()
+                    if kind == _GB_REF:
+                        items.append(r.unpack(_I64)[0])
+                    elif kind == _GB_ENTRY:
+                        items.append(
+                            OrderedAction(r.unpack(_I64)[0], self._r_action(r))
+                        )
+                    else:
+                        raise CodecError(f"unknown bundle item marker {kind}")
+                members.append((member, tuple(items)))
+            return GroupBundle(shared, tuple(members), last_installed)
+        if tag == _TAG_SPAN_FORWARD:
+            (owner,) = r.unpack(_I64)
+            involved = self._r_shard_tuple(r)
+            return SpanForward(owner, involved, self._r_action(r))
+        if tag == _TAG_SPAN_SPLICE:
+            (gsn,) = r.unpack(_I64)
+            (owner,) = r.unpack(_I64)
+            involved = self._r_shard_tuple(r)
+            return SpanSplice(gsn, owner, involved, self._r_action(r))
+        if tag == _TAG_SPAN_RESULT:
+            (gsn,) = r.unpack(_I64)
+            action_id = ActionId(*r.unpack(_ACTION_ID))
+            return SpanResult(gsn, action_id, self._r_result(r))
+        if tag == _TAG_SPAN_ABORT:
+            (gsn,) = r.unpack(_I64)
+            return SpanAbort(gsn, ActionId(*r.unpack(_ACTION_ID)))
+        if tag == _TAG_HANDOFF_PREPARE:
+            return HandoffPrepare(r.unpack(_I64)[0])
+        if tag == _TAG_HANDOFF_READY:
+            return HandoffReady(r.unpack(_I64)[0])
+        if tag == _TAG_HANDOFF_TRANSFER:
+            (client_id,) = r.unpack(_I64)
+            (radius,) = r.unpack(_F64)
+            interests = None
+            if r.byte():
+                (interest_count,) = r.unpack(_U32)
+                interests = frozenset(
+                    self._r_str(r) for _ in range(interest_count)
+                )
+            (resolved_count,) = r.unpack(_U32)
+            resolved = tuple(
+                ActionId(*r.unpack(_ACTION_ID)) for _ in range(resolved_count)
+            )
+            return HandoffTransfer(client_id, radius, interests, resolved)
+        if tag == _TAG_HANDOFF_WELCOME:
+            (shard,) = r.unpack(_I64)
+            (resolved_count,) = r.unpack(_U32)
+            resolved = tuple(
+                ActionId(*r.unpack(_ACTION_ID)) for _ in range(resolved_count)
+            )
+            return HandoffWelcome(shard, resolved)
+        if tag == _TAG_ARQ_PACKET:
+            (seq,) = r.unpack(_I64)
+            (base,) = r.unpack(_I64)
+            payload = self._decode_frame(r) if r.byte() else None
+            return self._packet_cls(seq, base, payload)
+        if tag == _TAG_ARQ_ACK:
+            return self._ack_cls(r.unpack(_I64)[0])
+        if tag == _TAG_PICKLED:
+            return self._unpickle(bytes(r.read(r.remaining())))
+        raise CodecError(f"unknown frame tag {tag}")
+
+    # -- actions --------------------------------------------------------
+    def _w_action(self, out: bytearray, action: Action) -> None:
+        from repro.world.movement import MoveAction
+
+        if type(action) is MoveAction:
+            out.append(_ACT_MOVE)
+            out += _ACTION_ID.pack(*action.action_id)
+            self._w_str(out, action.avatar_oid)
+            out += _U32.pack(len(action.neighbors))
+            for neighbor in sorted(action.neighbors):
+                self._w_str(out, neighbor)
+            out += _F64.pack(action.duration_s)
+            out += _F64.pack(action.radius)
+            out += _VEC2.pack(action.position.x, action.position.y)
+            if action.velocity is None:
+                out.append(0)
+            else:
+                out.append(1)
+                out += _VEC2.pack(action.velocity.x, action.velocity.y)
+            out += _F64.pack(action.cost_ms)
+        elif type(action) is BlindWrite:
+            out.append(_ACT_BLIND)
+            out += _ACTION_ID.pack(*action.action_id)
+            self._w_values(out, action._values)
+            self._w_optional_action_id(out, action.origin)
+        else:
+            blob = self._pickle(action)
+            out.append(_ACT_PICKLED)
+            out += _U32.pack(len(blob))
+            out += blob
+
+    def _r_action(self, r: _Reader) -> Action:
+        from repro.world.geometry import Vec2
+        from repro.world.movement import MoveAction
+
+        kind = r.byte()
+        if kind == _ACT_MOVE:
+            if self._walls is None:
+                raise CodecError(
+                    "cannot decode MoveAction: codec has no wall field bound"
+                )
+            action_id = ActionId(*r.unpack(_ACTION_ID))
+            avatar_oid = self._r_str(r)
+            (neighbor_count,) = r.unpack(_U32)
+            neighbors = frozenset(
+                self._r_str(r) for _ in range(neighbor_count)
+            )
+            (duration_s,) = r.unpack(_F64)
+            (effect_range,) = r.unpack(_F64)
+            position = Vec2(*r.unpack(_VEC2))
+            velocity = Vec2(*r.unpack(_VEC2)) if r.byte() else None
+            (cost_ms,) = r.unpack(_F64)
+            return MoveAction(
+                action_id,
+                avatar_oid,
+                neighbors=neighbors,
+                walls=self._walls,
+                duration_s=duration_s,
+                effect_range=effect_range,
+                position=position,
+                velocity=velocity,
+                cost_ms=cost_ms,
+            )
+        if kind == _ACT_BLIND:
+            action_id = ActionId(*r.unpack(_ACTION_ID))
+            values = self._r_values(r)
+            origin = self._r_optional_action_id(r)
+            return BlindWrite(action_id, values, origin=origin)
+        if kind == _ACT_PICKLED:
+            (length,) = r.unpack(_U32)
+            return self._unpickle(bytes(r.read(length)))
+        raise CodecError(f"unknown action sub-tag {kind}")
+
+    # -- scalar/value helpers -------------------------------------------
+    def _w_str(self, out: bytearray, text: str) -> None:
+        raw = text.encode("utf-8")
+        out += _U32.pack(len(raw))
+        out += raw
+
+    def _r_str(self, r: _Reader) -> str:
+        (length,) = r.unpack(_U32)
+        return str(bytes(r.read(length)), "utf-8")
+
+    def _w_optional_action_id(
+        self, out: bytearray, action_id: Optional[ActionId]
+    ) -> None:
+        if action_id is None:
+            out.append(0)
+        else:
+            out.append(1)
+            out += _ACTION_ID.pack(*action_id)
+
+    def _r_optional_action_id(self, r: _Reader) -> Optional[ActionId]:
+        return ActionId(*r.unpack(_ACTION_ID)) if r.byte() else None
+
+    def _w_shard_tuple(self, out: bytearray, shards: Tuple[int, ...]) -> None:
+        out += _U32.pack(len(shards))
+        for shard in shards:
+            out += _I64.pack(shard)
+
+    def _r_shard_tuple(self, r: _Reader) -> Tuple[int, ...]:
+        (count,) = r.unpack(_U32)
+        return tuple(r.unpack(_I64)[0] for _ in range(count))
+
+    def _w_value(self, out: bytearray, value) -> None:
+        if value is None:
+            out.append(_VAL_NONE)
+        elif value is True:
+            out.append(_VAL_TRUE)
+        elif value is False:
+            out.append(_VAL_FALSE)
+        elif type(value) is int and _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_VAL_INT)
+            out += _I64.pack(value)
+        elif type(value) is float:
+            out.append(_VAL_FLOAT)
+            out += _F64.pack(value)
+        elif type(value) is str:
+            out.append(_VAL_STR)
+            self._w_str(out, value)
+        elif type(value) is tuple:
+            out.append(_VAL_TUPLE)
+            out += _U32.pack(len(value))
+            for item in value:
+                self._w_value(out, item)
+        else:
+            blob = self._pickle(value)
+            out.append(_VAL_PICKLED)
+            out += _U32.pack(len(blob))
+            out += blob
+
+    def _r_value(self, r: _Reader):
+        kind = r.byte()
+        if kind == _VAL_NONE:
+            return None
+        if kind == _VAL_TRUE:
+            return True
+        if kind == _VAL_FALSE:
+            return False
+        if kind == _VAL_INT:
+            return r.unpack(_I64)[0]
+        if kind == _VAL_FLOAT:
+            return r.unpack(_F64)[0]
+        if kind == _VAL_STR:
+            return self._r_str(r)
+        if kind == _VAL_TUPLE:
+            (count,) = r.unpack(_U32)
+            return tuple(self._r_value(r) for _ in range(count))
+        if kind == _VAL_PICKLED:
+            (length,) = r.unpack(_U32)
+            return self._unpickle(bytes(r.read(length)))
+        raise CodecError(f"unknown value sub-tag {kind}")
+
+    def _w_values(self, out: bytearray, values) -> None:
+        """A ValuesDict (oid -> attrs dict), in insertion order."""
+        out += _U32.pack(len(values))
+        for oid, attrs in values.items():
+            self._w_str(out, oid)
+            out += _U32.pack(len(attrs))
+            for name, value in attrs.items():
+                self._w_str(out, name)
+                self._w_value(out, value)
+
+    def _r_values(self, r: _Reader) -> dict:
+        (count,) = r.unpack(_U32)
+        values = {}
+        for _ in range(count):
+            oid = self._r_str(r)
+            (attr_count,) = r.unpack(_U32)
+            attrs = {}
+            for _ in range(attr_count):
+                name = self._r_str(r)
+                attrs[name] = self._r_value(r)
+            values[oid] = attrs
+        return values
+
+    def _w_written(self, out: bytearray, written: tuple) -> None:
+        """A canonicalised written tuple (see ActionResult.of)."""
+        out += _U32.pack(len(written))
+        for oid, attrs in written:
+            self._w_str(out, oid)
+            out += _U32.pack(len(attrs))
+            for name, value in attrs:
+                self._w_str(out, name)
+                self._w_value(out, value)
+
+    def _r_written(self, r: _Reader) -> tuple:
+        (count,) = r.unpack(_U32)
+        written = []
+        for _ in range(count):
+            oid = self._r_str(r)
+            (attr_count,) = r.unpack(_U32)
+            attrs = tuple(
+                (self._r_str(r), self._r_value(r)) for _ in range(attr_count)
+            )
+            written.append((oid, attrs))
+        return tuple(written)
+
+    def _w_result(self, out: bytearray, result: ActionResult) -> None:
+        out.append(1 if result.aborted else 0)
+        self._w_written(out, result.written)
+
+    def _r_result(self, r: _Reader) -> ActionResult:
+        aborted = bool(r.byte())
+        return ActionResult(self._r_written(r), aborted)
+
+    # -- pickle fallback ------------------------------------------------
+    def _pickle(self, obj: object) -> bytes:
+        from repro.world.walls import WallField
+
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.persistent_id = (
+            lambda item: _WALLS_TOKEN if isinstance(item, WallField) else None
+        )
+        try:
+            pickler.dump(obj)
+        except Exception as exc:
+            raise CodecError(f"cannot pickle {type(obj).__name__}: {exc}") from exc
+        return buffer.getvalue()
+
+    def _unpickle(self, blob: bytes) -> object:
+        unpickler = pickle.Unpickler(io.BytesIO(blob))
+        unpickler.persistent_load = self._persistent_load
+        try:
+            return unpickler.load()
+        except CodecError:
+            raise
+        except Exception as exc:
+            raise CodecError(f"corrupt pickled payload: {exc}") from exc
+
+    def _persistent_load(self, pid: object) -> object:
+        if pid == _WALLS_TOKEN:
+            if self._walls is None:
+                raise CodecError(
+                    "cannot decode wall-field reference: codec has no "
+                    "wall field bound"
+                )
+            return self._walls
+        raise CodecError(f"unknown persistent id {pid!r}")

@@ -671,6 +671,10 @@ class ShardedSeveEngine(SeveEngine):
     def _build_server(self) -> None:
         config = self.config
         shards = self.sharding.shards
+        # Backbone links are created lazily by the network on first
+        # server-to-server send; setting the latency here (before any
+        # shard exists) covers them all.
+        self.network.server_link_latency_ms = config.backbone_latency_ms
         if config.mode not in ("seve", "first-bound"):
             raise ConfigurationError(
                 f"sharded deployments support the push modes "

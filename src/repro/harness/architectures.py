@@ -145,6 +145,7 @@ def build_engine(
             # observation logs, so sharded runs always record them
             # (pure bookkeeping — never changes scheduling).
             record_observations=settings.shards > 1,
+            backbone_latency_ms=settings.backbone_latency_ms,
             obs=obs,
             rwset_sanitizer=settings.rwset_sanitizer,
         )

@@ -107,6 +107,25 @@ class SimulationSettings:
     #: eviction and fault-tolerant completions.
     fault_plan: Optional[FaultPlan] = None
 
+    # -- execution backend (docs/parallel.md) -------------------------------
+    #: How the run executes on real hardware: "inproc" (everything in
+    #: this process) or "parallel" (spawned ``multiprocessing`` workers).
+    #: Virtual-time results are byte-identical between the two for equal
+    #: (shards, resolved workers) — the backend is a wall-clock choice,
+    #: never a semantics choice.
+    backend: str = "inproc"
+    #: Partition count for the windowed scheduler.  0 = auto: 1 for
+    #: ``inproc`` (the classic single-engine drive, unchanged) and one
+    #: worker per shard for ``parallel``.  An explicit ``workers >= 2``
+    #: with ``shards > 1`` selects the windowed partition scheduler for
+    #: either backend (clamped to the shard count).
+    workers: int = 0
+    #: One-way latency (ms) of the server-to-server backbone links used
+    #: by cross-shard forwarding.  Also the lower bound on the windowed
+    #: scheduler's lookahead, so raising it trades cross-shard lag for
+    #: fewer epoch barriers (see docs/parallel.md).
+    backbone_latency_ms: float = 1.0
+
     # -- run ------------------------------------------------------------------
     seed: int = 0
     #: Hard cap on post-workload drain time.
@@ -145,6 +164,20 @@ class SimulationSettings:
             raise ConfigurationError(
                 f"unknown rwset_sanitizer {self.rwset_sanitizer!r}; "
                 "expected None, 'off', 'report', or 'raise'"
+            )
+        if self.backend not in ("inproc", "parallel"):
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                "expected 'inproc' or 'parallel'"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0 (0 = auto), got {self.workers}"
+            )
+        if self.backbone_latency_ms <= 0:
+            raise ConfigurationError(
+                "backbone_latency_ms must be positive, got "
+                f"{self.backbone_latency_ms}"
             )
 
     @property

@@ -13,7 +13,6 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.engine import SeveEngine
 from repro.harness.architectures import build_engine, build_world
 from repro.harness.config import SimulationSettings
 from repro.harness.workload import MoveWorkload
@@ -114,6 +113,7 @@ def run_simulation(
     world: Optional[ManhattanWorld] = None,
     check_consistency: bool = True,
     obs=None,
+    _in_worker: bool = False,
 ) -> RunResult:
     """Run one architecture under the Table I workload and measure it.
 
@@ -121,39 +121,75 @@ def run_simulation(
     ``None``, one is constructed automatically if the settings request
     any observability output (``trace_out``/``metrics_out``/``profile``)
     and the requested exports are written at the end of the run.
+
+    ``settings.backend`` selects how the run executes on real hardware
+    (docs/parallel.md); virtual-time results are independent of the
+    choice.  The windowed partition paths build their own worlds (one
+    per replica), so a pre-built ``world`` is only shared on the classic
+    single-engine path.  ``_in_worker`` is internal: it marks the call
+    as already running inside a spawned backend worker, so the backend
+    dispatch below must not recurse.
     """
     started = time.perf_counter()
+    if settings.backend == "parallel" and not _in_worker:
+        from repro.net.backend import resolve_workers, run_in_subprocess
+
+        if settings.shards == 1 or resolve_workers(settings) == 1:
+            # Nothing to partition: execute the whole classic run in one
+            # spawned worker and re-stamp the wall clock to include the
+            # spawn overhead the caller actually paid.
+            result = run_in_subprocess(
+                architecture, settings, check_consistency=check_consistency
+            )
+            result.wall_seconds = time.perf_counter() - started
+            return result
     if obs is None and settings.wants_observer:
         from repro.obs import Observer
 
         obs = Observer(
             trace=settings.trace_out is not None, profile=settings.profile
         )
-    if world is None:
-        world = build_world(settings)
-    engine = build_engine(architecture, settings, world, obs=obs)
-    workload = MoveWorkload(engine, world, settings)
-
     plan = settings.fault_plan
     faults_active = plan is not None and not plan.is_null
     submit_horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
-    if faults_active:
-        # Periodic fault machinery (heartbeats, liveness sweeps) must
-        # stop eventually or the simulator never drains; give it a
-        # grace window past the workload for retries to settle.
-        # Sharded runs get the full drain budget: spanning actions
-        # serialize on their originators' results (one RTT per
-        # conflict-chain link), so a jittery queue needs far longer to
-        # empty — freezing pushes early would strand uncommitted spans.
-        grace = settings.drain_ms if settings.shards > 1 else 15_000.0
-        engine.start(stop_at=submit_horizon + grace)
-        _schedule_crashes(engine, workload, plan)
-    else:
-        engine.start()
-    workload.install()
 
-    engine.run(until=submit_horizon)
-    engine.run_to_quiescence(max_extra_ms=settings.drain_ms)
+    partitioned = False
+    if settings.shards > 1:
+        from repro.net.backend import resolve_workers
+
+        partitioned = resolve_workers(settings) > 1
+    if partitioned:
+        from repro.net.backend import run_partitioned
+
+        engine, workload = run_partitioned(
+            architecture,
+            settings,
+            parallel=settings.backend == "parallel",
+            obs=obs,
+        )
+    else:
+        if world is None:
+            world = build_world(settings)
+        engine = build_engine(architecture, settings, world, obs=obs)
+        workload = MoveWorkload(engine, world, settings)
+
+        if faults_active:
+            # Periodic fault machinery (heartbeats, liveness sweeps) must
+            # stop eventually or the simulator never drains; give it a
+            # grace window past the workload for retries to settle.
+            # Sharded runs get the full drain budget: spanning actions
+            # serialize on their originators' results (one RTT per
+            # conflict-chain link), so a jittery queue needs far longer to
+            # empty — freezing pushes early would strand uncommitted spans.
+            grace = settings.drain_ms if settings.shards > 1 else 15_000.0
+            engine.start(stop_at=submit_horizon + grace)
+            _schedule_crashes(engine, workload, plan)
+        else:
+            engine.start()
+        workload.install()
+
+        engine.run(until=submit_horizon)
+        engine.run_to_quiescence(max_extra_ms=settings.drain_ms)
 
     sharded = getattr(engine, "shard_servers", None)
     consistency = None
@@ -190,14 +226,12 @@ def run_simulation(
         / num_clients
         / 1024.0
     )
-    drop_percent = (
-        engine.drop_percent if isinstance(engine, SeveEngine) else 0.0
-    )
+    drop_percent = getattr(engine, "drop_percent", 0.0)
     samples = workload.stats.visible_samples
     costs = workload.stats.costs
     client_hosts = (
         engine.client_hosts.values()
-        if isinstance(engine, SeveEngine)
+        if hasattr(engine, "client_hosts")
         else [client.host for client in engine.clients.values()]
     )
     server_hosts = (

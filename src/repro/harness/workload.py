@@ -58,17 +58,27 @@ class MoveWorkload:
         #: Move quota parked by stop_client, restored by resume_client.
         self._halted: Dict[ClientId, int] = {}
 
-    def install(self) -> None:
-        """Schedule every client's periodic move generation."""
+    def install(self, only=None) -> None:
+        """Schedule every client's periodic move generation.
+
+        ``only`` restricts generation to the given client ids (the
+        partition backends activate each replica's owned slice).  The
+        phase offset is still drawn for *every* client in id order so
+        the RNG stream — and hence each owned client's offset — is
+        identical no matter how the clients are partitioned.
+        """
         interval = self.settings.move_interval_ms
+        owned = None if only is None else set(only)
         # Stop the generators once every client has had time to submit
         # its full quota — otherwise the periodic events would keep the
         # simulator from ever draining.
         stop_at = self.engine.sim.now + interval * (self.settings.moves_per_client + 2)
         for client_id in range(self.settings.num_clients):
+            offset = self._rng.uniform(0.0, interval)
+            if owned is not None and client_id not in owned:
+                continue
             self._remaining[client_id] = self.settings.moves_per_client
             self._next_seq[client_id] = 0
-            offset = self._rng.uniform(0.0, interval)
             self._stoppers[client_id] = self.engine.sim.call_every(
                 interval,
                 self._make_submitter(client_id),

@@ -1,0 +1,781 @@
+"""Pluggable execution backends: windowed partition scheduling for
+sharded runs, in-process or across ``multiprocessing`` workers.
+
+The classic harness drives one :class:`~repro.net.simulator.Simulator`
+holding every host of the deployment — all K shard servers serialize
+through one Python interpreter, so the virtual-time K-way scaling of
+:mod:`repro.core.sharded` never shows up on real cores.  This module
+makes it real while keeping the determinism story intact:
+
+* :func:`run_partitioned` executes a sharded run as W **partition
+  replicas**.  Each replica builds the *full* engine from the same
+  :class:`~repro.harness.config.SimulationSettings` (identical RNG
+  draws, identical object graphs) but *activates* only its slice: the
+  shard servers it owns get their periodic processes started, and the
+  workload generator submits only for the clients homed on those
+  shards.  Everything else in the replica stays dormant — it exists so
+  that object construction, seeds, and ids line up exactly.
+* Cross-partition messages are not delivered locally.  A transport
+  divert at the bottom of :class:`~repro.net.network.Network`
+  (``remote_sink``/``remote_hosts``) computes the arrival time on the
+  sender's copy of the link (occupying wire/FIFO state exactly as a
+  local transmit would, including fault draws) and hands the message —
+  encoded with the compact binary codec from
+  :mod:`repro.core.messages` — to the coordinator, which routes it to
+  the partition owning the destination at the next **epoch barrier**.
+* Virtual time advances in bounded windows.  With lookahead ``L`` (the
+  smallest one-way link latency in the deployment) any message sent at
+  time ``t`` arrives no earlier than ``t + L``; so after a barrier at
+  which the globally earliest pending event is ``E``, every replica can
+  safely run ``[now, E + L)`` without hearing from anyone.  Incoming
+  messages are injected at the barrier in a canonical order —
+  ``(arrival, source partition, per-partition send seq)`` — so tie
+  dispatch order is identical no matter how the bundles raced.
+
+**The two backends run the identical schedule.**
+:func:`run_partitioned` with ``parallel=False`` steps the W replicas
+inline in one process; with ``parallel=True`` it spawns one OS process
+per replica (``spawn`` start method everywhere — see
+:func:`spawn_context`) and exchanges the same per-epoch bundles over
+pipes.  Byte-identical ``RunResult``s between the two are a
+construction property, not a hope: same replica build, same window
+ends, same injection order, same merge pipeline.  The differential
+tests in ``tests/test_parallel_backend.py`` pin it.
+
+Quiescence and drain mirror the classic runner: once the barrier clock
+passes the workload horizon and every partition reports no pending
+client actions, no migrations, no handoffs, and no uncommitted server
+entries, the run stops — in-flight bundles at that instant are
+discarded (any message that could *create* work implies some partition
+was not quiescent; see docs/parallel.md for the argument), each replica
+stops its servers and drains one final millisecond, exactly like
+``run_to_quiescence``.  The windowed drain is a documented semantic
+refinement of the K>1 runner path: virtual timestamps can differ
+slightly from the classic single-heap drive, but never between the two
+backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.messages import MessageCodec
+from repro.errors import ConfigurationError, SimulationError
+from repro.types import ClientId, TimeMs, shard_host_id
+
+#: One cross-partition message in flight:
+#: ``(arrival, src_partition, send_seq, src, dst, frame, size, dropped)``.
+#: ``frame`` is the codec-encoded payload (``None`` for fault-dropped
+#: messages, which still arrive as meter debits).
+Entry = Tuple[TimeMs, int, int, ClientId, ClientId, Optional[bytes], int, bool]
+
+
+def spawn_context():
+    """The ``multiprocessing`` context every backend component uses.
+
+    Always ``spawn``: fork would duplicate the parent's interpreter
+    state (open observers, pytest fixtures, random module state) into
+    the workers on Linux while macOS/Windows spawn fresh interpreters —
+    the same run would then behave differently per platform.  Spawn
+    gives every worker a clean interpreter everywhere, at the cost of
+    requiring everything shipped to a worker to be picklable (settings,
+    snapshots, and bundles are, by design).
+    """
+    return multiprocessing.get_context("spawn")
+
+
+def resolve_workers(settings) -> int:
+    """The effective worker count W for ``settings``.
+
+    ``workers == 0`` means *auto*: 1 for the in-process backend (the
+    classic single-engine path, unchanged) and one worker per shard for
+    the parallel backend.  Explicit counts are clamped to the shard
+    count — a shard is the unit of ownership and cannot be split.
+    """
+    if settings.workers > 0:
+        return min(settings.workers, settings.shards)
+    if settings.backend == "parallel":
+        return settings.shards
+    return 1
+
+
+def worker_of_shard(shard: int, shards: int, workers: int) -> int:
+    """Owner partition of ``shard``: contiguous stripes of shards."""
+    return (shard * workers) // shards
+
+
+# ---------------------------------------------------------------------------
+# Per-epoch reports and end-of-run snapshots
+# ---------------------------------------------------------------------------
+@dataclass
+class BarrierReport:
+    """What a replica tells the coordinator at an epoch barrier."""
+
+    #: Cross-partition messages sent during the window just run.
+    bundles: List[Entry]
+    #: Earliest pending local event, or ``None`` when idle.
+    next_event: Optional[TimeMs]
+    #: Whether this partition's slice satisfies the quiescence predicate.
+    quiescent: bool
+    #: The replica clock (== the window end; sanity-checked upstream).
+    now: TimeMs
+
+
+@dataclass
+class ClientSnapshot:
+    """End-of-run state of one owned client (picklable)."""
+
+    stable: object
+    observations: Optional[list]
+    submitted: int
+    cpu_ms: float
+
+
+@dataclass
+class ShardSnapshot:
+    """End-of-run state of one owned shard server (picklable)."""
+
+    shard_index: int
+    client_ids: Tuple[ClientId, ...]
+    stats: object
+    shard_stats: object
+    costs: object
+    span_gsns: Dict
+    state: object
+    cpu_ms: float
+
+
+@dataclass
+class PartitionSnapshot:
+    """Everything a partition contributes to the merged run result."""
+
+    partition: int
+    now: TimeMs
+    dispatched: int
+    meter: object
+    response_samples: List[float]
+    response_by_client: Dict[ClientId, List[float]]
+    dropped_actions: int
+    submitted_actions: int
+    workload: object
+    clients: Dict[ClientId, ClientSnapshot]
+    shards: List[ShardSnapshot]
+    rwset_violations: Tuple[str, ...]
+    observer: object = None
+
+
+class _Rendered:
+    """A pre-rendered sanitizer violation (render() is cross-process)."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self) -> str:
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# The partition replica
+# ---------------------------------------------------------------------------
+class PartitionReplica:
+    """One partition's full engine with only its own slice activated.
+
+    The replica builds the complete deployment from ``settings`` — all
+    K shards, all clients, the full world — so that every construction-
+    time RNG draw and id assignment matches every other replica.  It
+    then *starts* only the owned shards' periodic processes and the
+    owned clients' workload generators, and diverts traffic addressed
+    to foreign hosts through the network's ``remote_sink``.
+    """
+
+    def __init__(
+        self,
+        architecture: str,
+        settings,
+        partition: int,
+        workers: int,
+    ) -> None:
+        from repro.harness.architectures import build_engine
+        from repro.harness.workload import MoveWorkload
+
+        self.settings = settings
+        self.partition = partition
+        self.workers = workers
+        obs = None
+        if settings.wants_observer:
+            from repro.obs import Observer
+
+            obs = Observer(
+                trace=settings.trace_out is not None, profile=settings.profile
+            )
+        self.obs = obs
+        self.engine = build_engine(architecture, settings, obs=obs)
+        engine = self.engine
+        shards = settings.shards
+        self.owned_shards = [
+            shard
+            for shard in range(shards)
+            if worker_of_shard(shard, shards, workers) == partition
+        ]
+        if not self.owned_shards:
+            raise ConfigurationError(
+                f"partition {partition} of {workers} owns no shard "
+                f"(shards={shards})"
+            )
+        #: Every client's owner partition — identical on every replica
+        #: because home shards derive from the deterministic build.
+        self.client_owner = {
+            client_id: worker_of_shard(
+                engine.home_shard(client_id), shards, workers
+            )
+            for client_id in range(settings.num_clients)
+        }
+        self.owned_clients = [
+            client_id
+            for client_id in sorted(self.client_owner)
+            if self.client_owner[client_id] == partition
+        ]
+        self.codec = MessageCodec(walls=getattr(engine.world, "walls", None))
+        owned_hosts = set(self.owned_clients) | {
+            shard_host_id(shard) for shard in self.owned_shards
+        }
+        all_hosts = set(range(settings.num_clients)) | {
+            shard_host_id(shard) for shard in range(shards)
+        }
+        engine.network.remote_hosts = frozenset(all_hosts - owned_hosts)
+        engine.network.remote_sink = self._sink
+        self._outgoing: List[Entry] = []
+        self._send_seq = 0
+        self._discard_remote = False
+        self.workload = MoveWorkload(engine, engine.world, settings)
+
+    # -- transport ---------------------------------------------------------
+    def _sink(
+        self,
+        src: ClientId,
+        dst: ClientId,
+        payload: object,
+        size_bytes: int,
+        arrival: TimeMs,
+        dropped: bool,
+    ) -> None:
+        if self._discard_remote:
+            return
+        seq = self._send_seq
+        self._send_seq += 1
+        frame = None if dropped else self.codec.encode(payload)
+        self._outgoing.append(
+            (arrival, self.partition, seq, src, dst, frame, size_bytes, dropped)
+        )
+
+    def _inject(self, entries: List[Entry]) -> None:
+        """Schedule incoming cross-partition messages in canonical order.
+
+        Sorting by ``(arrival, src_partition, send_seq)`` fixes the
+        insertion (and hence equal-time dispatch) order regardless of
+        how the bundles were concatenated upstream.  Fault-dropped
+        messages are injected too: they burn one dispatch and debit
+        this partition's meter at the instant the classic path's
+        arrival event would have.
+        """
+        sim = self.engine.sim
+        network = self.engine.network
+        meter = network.meter
+        for arrival, _, _, src, dst, frame, size, dropped in sorted(
+            entries, key=lambda e: (e[0], e[1], e[2])
+        ):
+            if dropped:
+                sim.schedule_at(
+                    arrival,
+                    lambda s=src, d=dst, z=size: meter.note_dropped(s, d, z),
+                )
+            else:
+                payload = self.codec.decode(frame)
+                sim.schedule_at(
+                    arrival,
+                    lambda s=src, d=dst, p=payload, z=size: network._dispatch(
+                        s, d, p, z
+                    ),
+                )
+
+    # -- driving -----------------------------------------------------------
+    def start(self) -> None:
+        """Activate the owned slice (mirrors the classic runner's
+        start sequencing; crash plans are impossible at K > 1)."""
+        settings = self.settings
+        plan = settings.fault_plan
+        faults_active = plan is not None and not plan.is_null
+        horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
+        stop_at = horizon + settings.drain_ms if faults_active else None
+        for shard in self.owned_shards:
+            self.engine.shard_servers[shard].start(stop_at=stop_at)
+        self.workload.install(only=self.owned_clients)
+
+    def report(self) -> BarrierReport:
+        bundles = self._outgoing
+        self._outgoing = []
+        return BarrierReport(
+            bundles=bundles,
+            next_event=self.engine.sim.next_event_time(),
+            quiescent=self._quiescent(),
+            now=self.engine.sim.now,
+        )
+
+    def run_window(self, end: TimeMs, entries: List[Entry]) -> BarrierReport:
+        """Inject the routed entries, run ``[now, end)``, and report."""
+        self._inject(entries)
+        self.engine.sim.run_window(end)
+        return self.report()
+
+    def _quiescent(self) -> bool:
+        engine = self.engine
+        for client_id in self.owned_clients:
+            client = engine.clients[client_id]
+            if client.pending_count or client._migrating:
+                return False
+        for shard in self.owned_shards:
+            server = engine.shard_servers[shard]
+            if server._handoffs or server.uncommitted_count:
+                return False
+        return True
+
+    def finish(self, t_stop: TimeMs, deadline: TimeMs) -> PartitionSnapshot:
+        """Stop owned servers, drain the final millisecond, snapshot.
+
+        Sends to foreign hosts during the drain are discarded — the run
+        is over, exactly as the classic drive leaves same-instant
+        arrivals undispatched in its queue.
+        """
+        self._discard_remote = True
+        for shard in self.owned_shards:
+            self.engine.shard_servers[shard].stop()
+        self.engine.sim.run(until=min(t_stop + 1.0, deadline))
+        return self.snapshot()
+
+    # -- results -----------------------------------------------------------
+    def snapshot(self) -> PartitionSnapshot:
+        engine = self.engine
+        clients = {}
+        for client_id in self.owned_clients:
+            client = engine.clients[client_id]
+            clients[client_id] = ClientSnapshot(
+                stable=client.stable,
+                observations=client.observations,
+                submitted=client.stats.submitted,
+                cpu_ms=engine.client_hosts[client_id].cpu_time_used,
+            )
+        shards = []
+        for shard in self.owned_shards:
+            server = engine.shard_servers[shard]
+            shards.append(
+                ShardSnapshot(
+                    shard_index=shard,
+                    client_ids=tuple(sorted(server.clients)),
+                    stats=server.stats,
+                    shard_stats=server.shard_stats,
+                    costs=server.costs,
+                    span_gsns=dict(server.span_gsns),
+                    state=engine.shard_states[shard],
+                    cpu_ms=engine.server_hosts[shard].cpu_time_used,
+                )
+            )
+        recorder = engine.rwset_recorder
+        violations = tuple(
+            violation.render()
+            for violation in (recorder.violations if recorder is not None else ())
+        )
+        return PartitionSnapshot(
+            partition=self.partition,
+            now=engine.sim.now,
+            dispatched=engine.sim.dispatched,
+            meter=engine.network.meter,
+            response_samples=list(engine.response_times.samples),
+            response_by_client={
+                client_id: list(samples)
+                for client_id, samples in engine.response_times.by_client.items()
+            },
+            dropped_actions=sum(
+                len(engine.dropped[client_id])
+                for client_id in self.owned_clients
+            ),
+            submitted_actions=sum(
+                engine.clients[client_id].stats.submitted
+                for client_id in self.owned_clients
+            ),
+            workload=self.workload.stats,
+            clients=clients,
+            shards=shards,
+            rwset_violations=violations,
+            observer=self.obs,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Replica handles: inline and subprocess, one interface
+# ---------------------------------------------------------------------------
+class _InlineHandle:
+    """A partition replica stepped inline in the coordinator process."""
+
+    def __init__(
+        self, architecture: str, settings, partition: int, workers: int
+    ) -> None:
+        self.replica = PartitionReplica(architecture, settings, partition, workers)
+        self._reply: Optional[BarrierReport] = None
+        self._snapshot: Optional[PartitionSnapshot] = None
+
+    def launch(self) -> Tuple[Tuple[ClientId, ...], BarrierReport]:
+        self.replica.start()
+        return tuple(self.replica.owned_clients), self.replica.report()
+
+    def post_window(self, end: TimeMs, entries: List[Entry]) -> None:
+        self._reply = self.replica.run_window(end, entries)
+
+    def recv_report(self) -> BarrierReport:
+        return self._reply
+
+    def post_finish(self, t_stop: TimeMs, deadline: TimeMs) -> None:
+        self._snapshot = self.replica.finish(t_stop, deadline)
+
+    def recv_snapshot(self) -> PartitionSnapshot:
+        return self._snapshot
+
+    def close(self) -> None:
+        pass
+
+
+class _ProcessHandle:
+    """A partition replica in its own spawned worker process.
+
+    Commands are posted to *all* workers before any reply is awaited —
+    that concurrency is the entire point of the parallel backend.
+    """
+
+    def __init__(
+        self, architecture: str, settings, partition: int, workers: int, ctx
+    ) -> None:
+        from repro.net.worker import partition_worker_main
+
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self.process = ctx.Process(
+            target=partition_worker_main,
+            args=(child, architecture, settings, partition, workers),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self):
+        try:
+            message = self.conn.recv()
+        except EOFError:
+            self.process.join()
+            raise SimulationError(
+                f"partition worker exited unexpectedly "
+                f"(exit code {self.process.exitcode})"
+            )
+        if message[0] == "error":
+            raise SimulationError(
+                f"partition worker failed:\n{message[1]}"
+            )
+        return message
+
+    def launch(self) -> Tuple[Tuple[ClientId, ...], BarrierReport]:
+        _, owned_clients, report = self._recv()
+        return owned_clients, report
+
+    def post_window(self, end: TimeMs, entries: List[Entry]) -> None:
+        self.conn.send(("window", end, entries))
+
+    def recv_report(self) -> BarrierReport:
+        return self._recv()[1]
+
+    def post_finish(self, t_stop: TimeMs, deadline: TimeMs) -> None:
+        self.conn.send(("finish", t_stop, deadline))
+
+    def recv_snapshot(self) -> PartitionSnapshot:
+        return self._recv()[1]
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("exit",))
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=10)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+        self.conn.close()
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+def _drive(handles, settings) -> List[PartitionSnapshot]:
+    """Advance every partition through the shared window schedule.
+
+    This loop *is* the determinism argument: both backends run it with
+    identical inputs, so the window ends, the bundle routing, and the
+    injection order — everything that could reorder events — are
+    decided in exactly one place.
+    """
+    lookahead = min(settings.rtt_ms / 2.0, settings.backbone_latency_ms)
+    if lookahead <= 0:
+        raise ConfigurationError(
+            "windowed partition scheduling needs positive link latencies "
+            f"(one-way rtt/2 = {settings.rtt_ms / 2.0}, backbone = "
+            f"{settings.backbone_latency_ms})"
+        )
+    horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
+    deadline = horizon + settings.drain_ms
+
+    launches = [handle.launch() for handle in handles]
+    host_owner: Dict[ClientId, int] = {}
+    for partition, (owned_clients, _) in enumerate(launches):
+        for client_id in owned_clients:
+            host_owner[client_id] = partition
+    for shard in range(settings.shards):
+        host_owner[shard_host_id(shard)] = worker_of_shard(
+            shard, settings.shards, len(handles)
+        )
+
+    reports = [report for _, report in launches]
+    now: TimeMs = 0.0
+    while True:
+        bundles = [entry for report in reports for entry in report.bundles]
+        if now >= horizon and all(report.quiescent for report in reports):
+            break  # quiescent stop: in-flight bundles are dead (see module doc)
+        if now >= deadline:
+            break  # drain budget exhausted — classic timeout analog
+        candidates = [entry[0] for entry in bundles]
+        candidates.extend(
+            report.next_event
+            for report in reports
+            if report.next_event is not None
+        )
+        if not candidates:
+            if now < horizon:
+                # Queues drained early: advance the clock to the
+                # horizon, as the classic run(until=horizon) does.
+                next_end = horizon
+            else:
+                break  # globally idle
+        else:
+            next_end = min(min(candidates) + lookahead, deadline)
+        inboxes: List[List[Entry]] = [[] for _ in handles]
+        for entry in bundles:
+            inboxes[host_owner[entry[4]]].append(entry)
+        for handle, inbox in zip(handles, inboxes):
+            handle.post_window(next_end, inbox)
+        reports = [handle.recv_report() for handle in handles]
+        now = next_end
+
+    for handle in handles:
+        handle.post_finish(now, deadline)
+    return [handle.recv_snapshot() for handle in handles]
+
+
+# ---------------------------------------------------------------------------
+# Merge: partition snapshots -> one engine-shaped view
+# ---------------------------------------------------------------------------
+class MergedRun:
+    """Duck-typed engine view over the merged partition snapshots.
+
+    Exposes exactly the surface :func:`repro.harness.runner.run_simulation`
+    and :func:`repro.metrics.shard_audit.audit_sharded_run` consume from
+    a real :class:`~repro.core.sharded.ShardedSeveEngine` at the end of
+    a run — clients, meters, shard servers/states, hosts, samplers —
+    assembled from picklable per-partition snapshots in deterministic
+    (partition-, then id-sorted) order.
+    """
+
+    def __init__(self, snapshots: List[PartitionSnapshot], settings) -> None:
+        from repro.net.stats import LatencySampler, TrafficMeter
+
+        snapshots = sorted(snapshots, key=lambda s: s.partition)
+        self.settings = settings
+        meter = TrafficMeter()
+        for snapshot in snapshots:
+            meter.merge_from(snapshot.meter)
+        self.network = SimpleNamespace(meter=meter)
+        self.sim = SimpleNamespace(
+            now=max(snapshot.now for snapshot in snapshots),
+            dispatched=sum(snapshot.dispatched for snapshot in snapshots),
+        )
+        self.response_times = LatencySampler()
+        for snapshot in snapshots:
+            self.response_times.samples.extend(snapshot.response_samples)
+            for client_id, samples in snapshot.response_by_client.items():
+                self.response_times.by_client[client_id].extend(samples)
+
+        merged_clients: Dict[ClientId, ClientSnapshot] = {}
+        for snapshot in snapshots:
+            merged_clients.update(snapshot.clients)
+        self.clients = {
+            client_id: SimpleNamespace(
+                stable=merged_clients[client_id].stable,
+                observations=merged_clients[client_id].observations,
+                stats=SimpleNamespace(
+                    submitted=merged_clients[client_id].submitted
+                ),
+            )
+            for client_id in sorted(merged_clients)
+        }
+        self.client_hosts = {
+            client_id: SimpleNamespace(
+                cpu_time_used=merged_clients[client_id].cpu_ms
+            )
+            for client_id in sorted(merged_clients)
+        }
+
+        shard_snapshots = sorted(
+            (shard for snapshot in snapshots for shard in snapshot.shards),
+            key=lambda s: s.shard_index,
+        )
+        self.shard_servers = [
+            SimpleNamespace(
+                shard_index=shard.shard_index,
+                clients=shard.client_ids,
+                stats=shard.stats,
+                shard_stats=shard.shard_stats,
+                costs=shard.costs,
+                span_gsns=shard.span_gsns,
+            )
+            for shard in shard_snapshots
+        ]
+        self.server = self.shard_servers[0]
+        self.server_hosts = {
+            shard.shard_index: SimpleNamespace(cpu_time_used=shard.cpu_ms)
+            for shard in shard_snapshots
+        }
+        self.shard_states = [shard.state for shard in shard_snapshots]
+        self.state = self.shard_states[0]
+        self._attached = set()
+        for shard in shard_snapshots:
+            self._attached.update(shard.client_ids)
+        self._dropped = sum(s.dropped_actions for s in snapshots)
+        self._submitted = sum(s.submitted_actions for s in snapshots)
+        violations = tuple(
+            _Rendered(text)
+            for snapshot in snapshots
+            for text in snapshot.rwset_violations
+        )
+        self.rwset_recorder = (
+            SimpleNamespace(violations=violations) if violations else None
+        )
+        from repro.harness.workload import WorkloadStats
+
+        stats = WorkloadStats()
+        for snapshot in snapshots:
+            stats.moves_submitted += snapshot.workload.moves_submitted
+            stats.costs.extend(snapshot.workload.costs)
+            stats.visible_samples.extend(snapshot.workload.visible_samples)
+        self.workload_stats = stats
+
+    @property
+    def drop_percent(self) -> float:
+        if self._submitted == 0:
+            return 0.0
+        return 100.0 * self._dropped / self._submitted
+
+    def live_client_ids(self) -> List[ClientId]:
+        return [
+            client_id
+            for client_id in self.clients
+            if client_id in self._attached
+        ]
+
+    def span_gsn_map(self) -> Dict:
+        merged: Dict = {}
+        for server in self.shard_servers:
+            merged.update(server.span_gsns)
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Entry points (called from the harness runner)
+# ---------------------------------------------------------------------------
+def run_partitioned(
+    architecture: str,
+    settings,
+    *,
+    parallel: bool,
+    obs=None,
+) -> Tuple[MergedRun, SimpleNamespace]:
+    """Run a sharded deployment through the windowed scheduler.
+
+    Returns ``(merged_engine_view, workload_view)`` for the runner's
+    shared measurement pipeline.  ``parallel=False`` steps the replicas
+    inline (the in-process backend's W > 1 mode); ``parallel=True``
+    spawns one worker process per partition.  Per-replica observer
+    telemetry is merged into ``obs`` when one is attached.
+    """
+    workers = resolve_workers(settings)
+    if settings.shards < 2 or workers < 2:
+        raise ConfigurationError(
+            "run_partitioned needs shards > 1 and workers > 1 "
+            f"(got shards={settings.shards}, workers={workers})"
+        )
+    if parallel:
+        ctx = spawn_context()
+        handles: list = [
+            _ProcessHandle(architecture, settings, partition, workers, ctx)
+            for partition in range(workers)
+        ]
+    else:
+        handles = [
+            _InlineHandle(architecture, settings, partition, workers)
+            for partition in range(workers)
+        ]
+    try:
+        snapshots = _drive(handles, settings)
+    finally:
+        for handle in handles:
+            handle.close()
+    merged = MergedRun(snapshots, settings)
+    if obs is not None:
+        for snapshot in snapshots:
+            if snapshot.observer is not None:
+                obs.merge_from(snapshot.observer)
+    return merged, SimpleNamespace(stats=merged.workload_stats)
+
+
+def run_in_subprocess(architecture: str, settings, *, check_consistency=True):
+    """Execute one complete classic run in a single spawned worker.
+
+    The parallel backend's degenerate case (one shard, or one worker):
+    there is nothing to partition, so the whole ``run_simulation`` —
+    byte-identical to the in-process path by construction — executes in
+    a fresh interpreter and ships its pickled ``RunResult`` back.
+    """
+    from repro.net.worker import single_run_worker_main
+
+    ctx = spawn_context()
+    parent, child = ctx.Pipe()
+    process = ctx.Process(
+        target=single_run_worker_main,
+        args=(child, architecture, settings, check_consistency),
+        daemon=True,
+    )
+    process.start()
+    child.close()
+    try:
+        message = parent.recv()
+    except EOFError:
+        process.join()
+        raise SimulationError(
+            f"parallel run worker exited unexpectedly "
+            f"(exit code {process.exitcode})"
+        )
+    finally:
+        if process.is_alive():
+            process.join(timeout=30)
+        parent.close()
+    if message[0] == "error":
+        raise SimulationError(f"parallel run worker failed:\n{message[1]}")
+    return message[1]

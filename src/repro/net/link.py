@@ -105,6 +105,34 @@ class Link:
         self.sim.schedule_at(arrival, on_arrival)
         return arrival
 
+    def remote_arrival(
+        self, size_bytes: int, extra_delay: TimeMs = 0.0
+    ) -> TimeMs:
+        """Occupy the wire exactly as :meth:`transmit` would and return
+        the arrival time — without scheduling a local delivery event.
+
+        Used by the windowed partition backends
+        (:mod:`repro.net.backend`) for messages whose destination lives
+        in another partition: the sender side computes the arrival time
+        (advancing this link's wire/FIFO state so later local traffic
+        queues behind it identically), and the owning partition injects
+        the delivery at that time.  The ``in_flight``/``delivered``
+        diagnostic counters are not touched — the delivery happens on
+        the peer replica's copy of this link's destination.
+        """
+        if size_bytes < 0:
+            raise NetworkError(f"message size must be non-negative, got {size_bytes}")
+        if self._obs is not None:
+            self._obs.on_link_transmit(
+                self.src, self.dst, size_bytes, self.queue_delay()
+            )
+        start = max(self.sim.now, self._wire_free_at)
+        self._wire_free_at = start + self.serialization_delay(size_bytes)
+        arrival = self._wire_free_at + self.latency_ms + extra_delay
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+        return arrival
+
     def queue_delay(self) -> TimeMs:
         """Current backlog: how long a new message would wait before its
         first byte hits the wire."""

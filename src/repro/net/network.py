@@ -147,6 +147,18 @@ class Network:
         self._incarnation: Dict[ClientId, int] = {}
         self._sender_channels: Dict[Tuple[ClientId, ClientId], _SenderChannel] = {}
         self._receiver_channels: Dict[Tuple[ClientId, ClientId], _ReceiverChannel] = {}
+        #: Cross-partition transport divert (windowed backends,
+        #: :mod:`repro.net.backend`).  When ``remote_sink`` is set,
+        #: messages to a host in ``remote_hosts`` are not delivered
+        #: locally: the sender computes the arrival time (occupying the
+        #: link exactly as a local transmit would) and hands
+        #: ``(src, dst, payload, size, arrival, dropped)`` to the sink,
+        #: which batches it for the partition that owns ``dst``.  Both
+        #: default to "off" and cost nothing on the classic path.
+        self.remote_sink: Optional[
+            Callable[[ClientId, ClientId, object, int, TimeMs, bool], None]
+        ] = None
+        self.remote_hosts: frozenset[ClientId] = frozenset()
 
     # ------------------------------------------------------------------
     # Topology
@@ -373,6 +385,10 @@ class Network:
         *,
         inject_faults: bool = True,
     ) -> TimeMs:
+        if self.remote_sink is not None and dst in self.remote_hosts:
+            return self._send_remote(
+                src, dst, payload, size_bytes, inject_faults=inject_faults
+            )
         link = self.link(src, dst)
         self.meter.record(src, dst, size_bytes)
         dropped = False
@@ -402,6 +418,43 @@ class Network:
                 lambda: self._dispatch(src, dst, payload, size_bytes, incarnation),
                 extra_delay,
             )
+        return arrival
+
+    def _send_remote(
+        self,
+        src: ClientId,
+        dst: ClientId,
+        payload: object,
+        size_bytes: int,
+        *,
+        inject_faults: bool = True,
+    ) -> TimeMs:
+        """Divert a message whose destination another partition owns.
+
+        Mirrors :meth:`_send_raw` decision-for-decision — same metering,
+        same fault draws in the same order, same link-state math — but
+        instead of scheduling a local delivery it hands the computed
+        arrival to :attr:`remote_sink`.  Dropped messages are forwarded
+        too (flagged): the owning partition charges the drop to its
+        meter at the arrival instant, exactly when the classic path's
+        arrival event would have.
+        """
+        link = self.link(src, dst)
+        self.meter.record(src, dst, size_bytes)
+        dropped = False
+        extra_delay: TimeMs = 0.0
+        duplicate = False
+        if self.faults is not None and inject_faults:
+            dropped, extra_delay, duplicate = self.faults.decide(
+                src, dst, self.sim.now
+            )
+        arrival = link.remote_arrival(size_bytes, extra_delay)
+        self.remote_sink(src, dst, payload, size_bytes, arrival, dropped)
+        if duplicate:
+            self.meter.record(src, dst, size_bytes)
+            self.meter.note_duplicate()
+            dup_arrival = link.remote_arrival(size_bytes, extra_delay)
+            self.remote_sink(src, dst, payload, size_bytes, dup_arrival, False)
         return arrival
 
     def _dispatch(

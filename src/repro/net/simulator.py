@@ -189,6 +189,40 @@ class Simulator:
         if until is not None and until > self._now:
             self._now = until
 
+    def run_window(self, end: TimeMs) -> None:
+        """Dispatch every event with ``time < end``, then set the clock
+        to exactly ``end``.
+
+        The half-open counterpart of :meth:`run`: windowed execution
+        (the epoch-barrier backend, :mod:`repro.net.backend`) advances
+        replicas in ``[start, end)`` slices, and an event scheduled at
+        precisely the barrier time must run in the *next* window — after
+        any cross-partition messages arriving at that instant have been
+        injected.
+        """
+        queue = self._queue
+        while queue:
+            time, _seq, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                continue
+            if time >= end:
+                break
+            self.step()
+        if end > self._now:
+            self._now = end
+
+    def next_event_time(self) -> Optional[TimeMs]:
+        """Time of the earliest pending event, or ``None`` when idle."""
+        queue = self._queue
+        while queue:
+            time, _seq, event = queue[0]
+            if event.cancelled:
+                heapq.heappop(queue)
+                continue
+            return time
+        return None
+
     def call_every(
         self,
         interval: TimeMs,

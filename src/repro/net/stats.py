@@ -109,6 +109,32 @@ class TrafficMeter:
         registry.counter("traffic.retransmissions").inc(self.retransmissions)
         registry.counter("traffic.abandoned").inc(self.messages_abandoned)
 
+    def merge_from(self, other: "TrafficMeter") -> None:
+        """Fold another meter's accounting into this one.
+
+        Every field is a sum (dicts merge key-wise), so merging the
+        per-partition meters of a windowed run — where the sender
+        credits a cross-partition message and the receiving partition
+        applies any drop debit — reproduces exactly the totals one
+        global meter would have recorded.
+        """
+        self.total_bytes += other.total_bytes
+        self.total_messages += other.total_messages
+        for host, count in other.bytes_sent.items():
+            self.bytes_sent[host] += count
+        for host, count in other.bytes_received.items():
+            self.bytes_received[host] += count
+        for host, count in other.messages_sent.items():
+            self.messages_sent[host] += count
+        for pair, count in other.pair_bytes.items():
+            self.pair_bytes[pair] += count
+        self.messages_dropped += other.messages_dropped
+        self.bytes_dropped += other.bytes_dropped
+        self.messages_undelivered += other.messages_undelivered
+        self.messages_duplicated += other.messages_duplicated
+        self.retransmissions += other.retransmissions
+        self.messages_abandoned += other.messages_abandoned
+
     @property
     def total_kb(self) -> float:
         """Total traffic in kilobytes (paper's Figure 9 unit)."""

@@ -1,0 +1,84 @@
+"""Worker-process entry points for the parallel backend.
+
+Both functions here run inside a freshly **spawned** interpreter (see
+:func:`repro.net.backend.spawn_context` for why spawn, never fork) and
+speak a tiny command protocol over a ``multiprocessing`` pipe:
+
+``partition_worker_main`` — one partition replica of a sharded run:
+
+* worker → coordinator: ``("ready", owned_clients, BarrierReport)``
+  once the replica is built and its slice activated;
+* coordinator → worker: ``("window", end, entries)`` — inject the
+  routed cross-partition entries, run virtual time up to ``end``,
+  reply ``("barrier", BarrierReport)``;
+* coordinator → worker: ``("finish", t_stop, deadline)`` — stop owned
+  servers, drain, reply ``("done", PartitionSnapshot)``;
+* coordinator → worker: ``("exit",)`` — return (process ends).
+
+``single_run_worker_main`` — the degenerate parallel case (one shard or
+one worker): execute the entire classic ``run_simulation`` and ship the
+pickled ``RunResult`` back as ``("done", result)``.
+
+Any exception is reported as ``("error", traceback_text)`` before the
+worker dies, so the coordinator can surface the real stack trace
+instead of a bare ``EOFError``.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+
+def partition_worker_main(
+    conn, architecture: str, settings, partition: int, workers: int
+) -> None:
+    """Run one :class:`~repro.net.backend.PartitionReplica` behind a pipe."""
+    from repro.net.backend import PartitionReplica
+
+    try:
+        replica = PartitionReplica(architecture, settings, partition, workers)
+        replica.start()
+        conn.send(("ready", tuple(replica.owned_clients), replica.report()))
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "window":
+                conn.send(("barrier", replica.run_window(message[1], message[2])))
+            elif command == "finish":
+                conn.send(("done", replica.finish(message[1], message[2])))
+            elif command == "exit":
+                return
+            else:
+                raise ValueError(f"unknown worker command: {command!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+
+
+def single_run_worker_main(
+    conn, architecture: str, settings, check_consistency: bool
+) -> None:
+    """Execute one whole classic run and return its ``RunResult``."""
+    try:
+        from repro.harness.runner import run_simulation
+
+        result = run_simulation(
+            architecture,
+            settings,
+            check_consistency=check_consistency,
+            _in_worker=True,
+        )
+        conn.send(("done", result))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()

@@ -126,6 +126,16 @@ class PhaseProfile:
             slot[1] += sim_ms
             slot[2] += wall_ms
 
+    def merge_from(self, other: "PhaseProfile") -> None:
+        """Fold another profile's aggregates into this one.
+
+        Used to combine per-worker profiles from the parallel backend
+        into one report table — previously the non-main processes' wall
+        time simply vanished.
+        """
+        for phase, (count, sim_ms, wall_ms) in other.phases.items():
+            self.record(phase, sim_ms=sim_ms, wall_ms=wall_ms, n=count)
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """The breakdown as plain data, phase-name sorted."""
         return {
@@ -148,6 +158,21 @@ class Observer:
         self.metrics = MetricsRegistry()
         self.trace: Optional[TraceRecorder] = TraceRecorder() if trace else None
         self.profile: Optional[PhaseProfile] = PhaseProfile() if profile else None
+
+    def merge_from(self, other: "Observer") -> None:
+        """Fold another observer's telemetry into this one.
+
+        The parallel backend gives each worker replica its own observer
+        (perf_counter samples cannot cross process boundaries mid-run)
+        and merges them here at the end: metrics add, profiles add, and
+        trace events concatenate in partition order.  Telemetry kinds
+        the receiving observer did not enable are skipped.
+        """
+        self.metrics.merge_from(other.metrics)
+        if self.trace is not None and other.trace is not None:
+            self.trace.merge_from(other.trace)
+        if self.profile is not None and other.profile is not None:
+            self.profile.merge_from(other.profile)
 
     # ------------------------------------------------------------------
     # Wall-clock sampling (profiling only)

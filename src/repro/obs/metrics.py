@@ -164,6 +164,26 @@ class Histogram:
                 return self._max
         return self._max
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Requires identical bucket boundaries — merging across different
+        bucketings would silently misplace samples.
+        """
+        if self.bounds != other.bounds:
+            raise ObservabilityError(
+                f"cannot merge histogram {self.name!r}: bounds differ "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
     def to_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -246,6 +266,24 @@ class MetricsRegistry:
                 f"not a {kind.__name__.lower()}"
             )
         return instrument
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one by name.
+
+        Counters and histograms add (histograms insist on identical
+        bounds); gauges take the merged-in value (last write wins —
+        partition merges happen at end of run, where every replica's
+        end-state gauge reads the same quantity).  Kind mismatches on a
+        shared name raise, as they would at the instrumentation site.
+        """
+        for name in other.names():
+            instrument = other._instruments[name]
+            if isinstance(instrument, Counter):
+                self.counter(name).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name).set(instrument.value)
+            else:
+                self.histogram(name, instrument.bounds).merge_from(instrument)
 
     def get(self, name: str) -> Optional[Instrument]:
         """The instrument called ``name``, or ``None``."""

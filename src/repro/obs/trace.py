@@ -130,6 +130,19 @@ class TraceRecorder:
             event["args"] = args
         self.events.append(event)
 
+    def merge_from(self, other: "TraceRecorder") -> None:
+        """Append another recorder's events after this one's.
+
+        Used by the parallel backend to concatenate per-worker traces in
+        partition order.  The merged-in recorder must have no open spans
+        (a half-open span would steal this recorder's next ``end()``).
+        """
+        if other.open_spans():
+            raise ObservabilityError(
+                f"cannot merge a trace with {other.open_spans()} open spans"
+            )
+        self.events.extend(other.events)
+
     def open_spans(self) -> int:
         """Number of begun-but-not-ended spans across all tracks."""
         return sum(len(stack) for stack in self._stacks.values())
