@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 tests + the push-path and parallel-backend wall-clock benchmarks.
+# Tier-1 tests + the push-path, parallel-backend, and adversary
+# benchmarks.
 #
 # Runs the full test suite (differential/property tests included), then
-# regenerates BENCH_pushpath.json and BENCH_parallel.json (repo root +
-# benchmarks/results/) so every PR leaves a fresh before/after perf
-# record.  BENCH_parallel.json is the K in {1,2,4,8} x {inproc,parallel}
-# real-core sweep of the multiprocessing shard backend; its >=2x-at-K=4
-# acceptance gate only applies on hosts with >= 4 cores.
+# regenerates BENCH_pushpath.json, BENCH_parallel.json, and
+# BENCH_adversary.json (repo root + benchmarks/results/) so every PR
+# leaves a fresh before/after perf record.  BENCH_parallel.json is the
+# K in {1,2,4,8} x {inproc,parallel} real-core sweep of the
+# multiprocessing shard backend; its >=2x-at-K=4 acceptance gate only
+# applies on hosts with >= 4 cores.  BENCH_adversary.json records
+# cheat-detection latency and blast radius across K in {1,2,4}, clean
+# and lossy (docs/adversary.md).
 #
 # Usage:  scripts/bench.sh [--quick]        (--quick: smaller end-to-end run)
 set -euo pipefail
@@ -16,3 +20,4 @@ export PYTHONPATH=src
 
 scripts/test.sh
 python benchmarks/bench_wallclock.py "$@"
+python benchmarks/bench_adversary.py "$@"

@@ -4,11 +4,11 @@
 #
 # Usage:
 #   scripts/test.sh            everything: lints, doctests, fast suite,
-#                              sharded + parallel smoke runs, the
-#                              parallel-backend differential, slow
-#                              differentials, fault matrix
-#   scripts/test.sh --fast     lints, doctests, fast suite, parallel
-#                              smoke (pre-commit gate)
+#                              sharded + parallel + adversary smoke
+#                              runs, the parallel-backend differential,
+#                              slow differentials, fault matrix
+#   scripts/test.sh --fast     lints, doctests, fast suite, parallel +
+#                              adversary smoke (pre-commit gate)
 #   scripts/test.sh --faults   fault matrix only (-m faults)
 #
 # The fault matrix replays degraded-network and churn scenarios (loss,
@@ -40,7 +40,7 @@ lint_and_doctests() {
   python scripts/docs_lint.py
   python -m pytest -x -q --doctest-modules \
     src/repro/obs src/repro/metrics/report.py src/repro/net/stats.py \
-    scripts/docs_lint.py
+    src/repro/core/detection.py scripts/docs_lint.py
 }
 
 # End-to-end smoke of the sharded deployment through the real CLI (the
@@ -58,11 +58,21 @@ parallel_smoke() {
     --backend parallel --seed 7 >/dev/null
 }
 
+# Adversary smoke (docs/adversary.md): three cheating clients on a
+# sharded run through the real CLI — detection, quarantine, and the
+# honest-survivor consistency gate all inside the exit code.
+adversary_smoke() {
+  python -m repro run seve --clients 8 --walls 0 --moves 8 --shards 2 \
+    --adversary "forge:2,replay:3,lying-ws:4" --rwset-sanitizer \
+    --seed 11 >/dev/null
+}
+
 case "${1:-}" in
   --fast)
     lint_and_doctests
     python -m pytest -x -q -m "not slow"
     parallel_smoke
+    adversary_smoke
     ;;
   --faults)
     python -m pytest -x -q -m faults
@@ -72,6 +82,7 @@ case "${1:-}" in
     python -m pytest -x -q -m "not slow"
     sharded_smoke
     parallel_smoke
+    adversary_smoke
     # Full parallel-vs-inproc differential (clean + lossy, K ∈ {1,2,4})
     python -m pytest -x -q tests/test_parallel_backend.py
     python -m pytest -x -q -m "slow and not faults"

@@ -36,7 +36,7 @@ mode) without threading a flag through each construction site.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.state.objects import WorldObject
@@ -86,6 +86,12 @@ class Violation:
     oid: ObjectId
     declared: FrozenSet[ObjectId]
     store: str  # label of the store the access hit
+    #: Originating client of the offending action (``ActionId.client_id``)
+    #: — attribution for the cheat-detection layer (docs/adversary.md);
+    #: ``None`` for violations recorded before this field existed.
+    client_id: Optional[int] = None
+    #: The offending action's per-client sequence number.
+    seq: Optional[int] = None
 
     def render(self) -> str:
         declared_set = "RS" if self.kind == "read" else "WS"
@@ -118,6 +124,15 @@ class SanitizerRecorder:
     reads_checked: int = 0
     writes_checked: int = 0
     scopes_entered: int = 0
+    #: Interception hook: called with each violation *before* it is
+    #: recorded; returning True absorbs it (no report entry, no raise).
+    #: The engine routes violations attributed to a planned cheater to
+    #: the cheat detector this way, so an ambient raise-mode sanitizer
+    #: keeps aborting on honest protocol bugs while adversarial runs
+    #: convert the cheater's violations into detections.
+    on_violation: Optional[Callable[[Violation], bool]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.mode not in ("report", "raise"):
@@ -125,8 +140,19 @@ class SanitizerRecorder:
                 f"recorder mode must be 'report' or 'raise', got {self.mode!r}"
             )
 
+    def __getstate__(self) -> dict:
+        # The interception hook is typically a bound engine method —
+        # unpicklable, and meaningless outside the worker that armed it.
+        # Parallel-backend snapshots pickle sanitized stores (which share
+        # this recorder), so strip the hook and keep the counters/records.
+        state = dict(self.__dict__)
+        state["on_violation"] = None
+        return state
+
     def record(self, violation: Violation) -> None:
         """Register a violation (raising when so configured)."""
+        if self.on_violation is not None and self.on_violation(violation):
+            return
         self.violations.append(violation)
         if self.mode == "raise":
             raise RWSetViolation(violation)
@@ -194,6 +220,8 @@ class SanitizedStore(ObjectStore):
                     oid,
                     action.reads,
                     self.label,
+                    client_id=action.action_id.client_id,
+                    seq=action.action_id.seq,
                 )
             )
 
@@ -211,6 +239,8 @@ class SanitizedStore(ObjectStore):
                     oid,
                     action.writes,
                     self.label,
+                    client_id=action.action_id.client_id,
+                    seq=action.action_id.seq,
                 )
             )
 

@@ -17,11 +17,18 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.adversary import AdversaryPlan, parse_adversary_plan
 from repro.harness import experiments
 from repro.harness.architectures import ARCHITECTURES
 from repro.harness.config import SimulationSettings
 from repro.harness.runner import run_simulation
-from repro.metrics.report import Table, fault_rows, profile_table, shard_table
+from repro.metrics.report import (
+    Table,
+    adversary_rows,
+    fault_rows,
+    profile_table,
+    shard_table,
+)
 from repro.net.faults import FaultPlan, parse_crash_plan
 
 #: Experiment name -> driver.
@@ -111,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash windows, e.g. '0@800:2500,3@1200' "
         "(client@crash_ms[:reconnect_ms], comma-separated)",
     )
+    adversary = run.add_argument_group("adversaries (docs/adversary.md)")
+    adversary.add_argument(
+        "--adversary", type=str, default=None, metavar="PLAN",
+        help="per-client cheating models, e.g. 'lying-rs:0,forge:3+5' "
+        "(MODEL:CLIENT[+CLIENT...], comma-separated); arms the "
+        "server-side detection/quarantine layer (SEVE architectures "
+        "only)",
+    )
+    adversary.add_argument(
+        "--adversary-seed", type=int, default=0,
+        help="seed of the cheat models' dedicated RNG",
+    )
     obs = run.add_argument_group("observability (docs/observability.md)")
     obs.add_argument(
         "--trace-out", type=str, default=None, metavar="PATH",
@@ -158,6 +177,16 @@ def _fault_plan(args: argparse.Namespace) -> Optional[FaultPlan]:
     )
 
 
+def _adversary_plan(args: argparse.Namespace) -> Optional[AdversaryPlan]:
+    """The AdversaryPlan the run flags describe, or None when defaults."""
+    if args.adversary is None and not args.adversary_seed:
+        return None
+    return AdversaryPlan(
+        assignments=parse_adversary_plan(args.adversary or ""),
+        seed=args.adversary_seed,
+    )
+
+
 def _command_run(args: argparse.Namespace) -> int:
     settings = SimulationSettings(
         num_clients=args.clients,
@@ -175,6 +204,7 @@ def _command_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         rwset_sanitizer=args.rwset_sanitizer,
         fault_plan=_fault_plan(args),
+        adversary=_adversary_plan(args),
         trace_out=args.trace_out,
         metrics_out=args.metrics_out,
         profile=args.profile,
@@ -206,6 +236,9 @@ def _command_run(args: argparse.Namespace) -> int:
     if settings.fault_plan is not None:
         for metric, value in fault_rows(result):
             table.add_row(metric, value)
+    if settings.adversary is not None:
+        for metric, value in adversary_rows(result):
+            table.add_row(metric, value)
     table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
     table.add_row("wall time (s)", result.wall_seconds)
     print(table.render())
@@ -224,6 +257,14 @@ def _command_run(args: argparse.Namespace) -> int:
         print("RW-set sanitizer violations:")
         for violation in result.rwset_violations:
             print(f"  {violation}")
+    if result.detection_records:
+        # Detected-and-quarantined cheats are the layer *working*, so
+        # they are reported but never fail the run; the consistency
+        # gates below cover the surviving honest replicas.
+        print()
+        print("Cheat detections:")
+        for record in result.detection_records:
+            print(f"  {record.render()}")
     if result.consistency is not None and not result.consistency.consistent:
         return 1
     if result.shard_audit is not None and not result.shard_audit.consistent:

@@ -195,6 +195,16 @@ class ProtocolClient:
         self._next_seq += 1
         return action_id
 
+    def _wire_action(self, action: Action) -> Action:
+        """The action as it goes on the wire — identity for honest clients.
+
+        Seam for the :mod:`repro.adversary` cheat models: what a client
+        *sends* need not be what it executes locally.  Overrides must
+        preserve the ActionId (local bookkeeping — optimistic queue,
+        submit times, retries — keys on it).
+        """
+        return action
+
     def submit(self, action: Action) -> None:
         """Optimistically evaluate ``action`` and send it to the server.
 
@@ -214,12 +224,13 @@ class ProtocolClient:
             # usual below so the local experience is seamless.
             self._migration_buffer.append(action)
         else:
-            message = SubmitAction(action)
+            wire = self._wire_action(action)
+            message = SubmitAction(wire)
             self.network.send(
                 self.client_id, self.server_id, message, wire_size(message)
             )
             if self.config.retry is not None:
-                self._arm_retry(action, 0)
+                self._arm_retry(wire, 0)
 
         # The queue/replica update is synchronous so that protocol state
         # is never behind the network (a backlogged CPU must not let the
@@ -540,12 +551,13 @@ class ProtocolClient:
         for action in self._migration_buffer:
             if action.action_id not in self._submit_times:
                 continue  # resolved while parked
-            message = SubmitAction(action)
+            wire = self._wire_action(action)
+            message = SubmitAction(wire)
             self.network.send(
                 self.client_id, self.server_id, message, wire_size(message)
             )
             if self.config.retry is not None:
-                self._arm_retry(action, 0)
+                self._arm_retry(wire, 0)
         self._migration_buffer.clear()
 
     # ------------------------------------------------------------------

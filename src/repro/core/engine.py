@@ -141,6 +141,13 @@ class SeveConfig:
     #: ``"off"`` disables, and ``None`` defers to the process-wide
     #: ambient mode (:func:`repro.analysis.sanitizer.resolve_mode`).
     rwset_sanitizer: Optional[str] = None
+    #: Adversarial client models (docs/adversary.md): a
+    #: :class:`repro.adversary.AdversaryPlan` assigning cheat models to
+    #: client ids.  ``None`` or a null plan keeps every client honest
+    #: and takes the identical code path (no detector is constructed);
+    #: a non-null plan substitutes seeded cheating clients and arms the
+    #: server-side detection/quarantine layer.
+    adversary: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -152,6 +159,14 @@ class SeveConfig:
                 f"unknown rwset_sanitizer {self.rwset_sanitizer!r}; "
                 "expected None, 'off', 'report', or 'raise'"
             )
+        if self.adversary is not None:
+            from repro.adversary import AdversaryPlan
+
+            if not isinstance(self.adversary, AdversaryPlan):
+                raise ConfigurationError(
+                    f"adversary must be an AdversaryPlan, "
+                    f"got {type(self.adversary).__name__}"
+                )
 
 
 class SeveEngine:
@@ -198,6 +213,38 @@ class SeveEngine:
             if sanitizer_mode != "off"
             else None
         )
+        adversary = self.config.adversary
+        #: Whether a non-null adversary plan is armed this run.
+        self.adversary_active = adversary is not None and not adversary.is_null
+        #: Clients evicted by the cheat-detection layer.
+        self.quarantined: set[ClientId] = set()
+        #: Restrict quarantine evictions to these clients (``None`` =
+        #: no restriction).  The parallel backend sets it to the
+        #: partition's owned clients: a foreign cheater's evidence is
+        #: recorded here, but its eviction happens on its home replica.
+        self.quarantine_filter: Optional[set[ClientId]] = None
+        #: Hook fired after each quarantine eviction (the harness stops
+        #: the cheater's workload generator here).
+        self.on_quarantine: Optional[Callable[[ClientId], None]] = None
+        #: Shared :class:`~repro.core.detection.CheatDetector`, or
+        #: ``None`` for honest runs (the byte-identical default path).
+        self.detector = None
+        if self.adversary_active:
+            from repro.core.detection import CheatDetector
+
+            if self.rwset_recorder is None:
+                # The lying-RS "evidence" detector reads the runtime
+                # sanitizer's attributed violations, so adversarial runs
+                # force at least report-mode sanitization of client
+                # replicas even when the run didn't ask for it.
+                self.rwset_recorder = SanitizerRecorder(mode="report")
+            self.rwset_recorder.on_violation = self._absorb_cheat_violation
+            self.detector = CheatDetector(
+                owned_of=self.world.avatar_of,
+                clock=lambda: self.sim.now,
+                obs=self.obs,
+                on_quarantine=self._quarantine,
+            )
         self._build_server()
         self.clients: Dict[ClientId, ProtocolClient] = {}
         self.client_hosts: Dict[ClientId, Host] = {}
@@ -225,6 +272,7 @@ class SeveEngine:
                 timestamp_cost_ms=config.costs.timestamp_ms,
                 liveness=config.liveness,
                 obs=self.obs,
+                detector=self.detector,
             )
             self.predicate = None
             self.info_bound = None
@@ -258,6 +306,7 @@ class SeveEngine:
             use_writer_index=config.use_distribution_indexes,
             liveness=config.liveness,
             obs=self.obs,
+            detector=self.detector,
         )
         if config.mode == "hybrid":
             from repro.core.hybrid import HybridRelayServer
@@ -331,16 +380,30 @@ class SeveEngine:
             stable = self._partial_initial_state(client_id)
         else:
             stable = self.state.snapshot()
-        if self.rwset_recorder is not None:
+        model = (
+            self.config.adversary.model_of(client_id)
+            if self.adversary_active
+            else None
+        )
+        if self.rwset_recorder is not None and model is None:
             # The client snapshots this store for its optimistic replica,
             # and SanitizedStore.snapshot stays sanitized — so one wrap
             # here covers ζ_CS and ζ_CO (and, via inheritance, every
-            # shard-attached client of the sharded engine too).
+            # shard-attached client of the sharded engine too).  Cheater
+            # replicas stay unwrapped: a cheater won't sanitize itself,
+            # and the lying-RS evidence must come from its *victims*.
             stable = wrap_sanitized(
                 stable, self.rwset_recorder, label=f"client{client_id}"
             )
         server, server_id = self._home_server(client_id)
-        client = ProtocolClient(
+        client_class: type = ProtocolClient
+        extra_kwargs: dict = {}
+        if model is not None:
+            from repro.adversary import cheat_class
+
+            client_class = cheat_class(model)
+            extra_kwargs["adversary_seed"] = self.config.adversary.seed
+        client = client_class(
             self.sim,
             self.network,
             host,
@@ -349,6 +412,7 @@ class SeveEngine:
             config=client_config,
             server_id=server_id,
             obs=self.obs,
+            **extra_kwargs,
         )
         client.on_confirmed = self._make_confirm_hook(client_id)
         client.on_aborted = self._make_abort_hook(client_id)
@@ -419,6 +483,57 @@ class SeveEngine:
         if stopper is not None:
             stopper()
 
+    def _quarantine(self, client_id: ClientId) -> None:
+        """Detector verdict: evict ``client_id`` from every serializer.
+
+        Reuses the PR 2 eviction machinery (detach + channel reset +
+        orphan aborts), so a quarantined cheater looks to the rest of
+        the system exactly like a crashed client the liveness sweep
+        removed — honest clients' entries keep committing via the
+        fault-tolerant completion path.
+        """
+        if client_id in self.quarantined:
+            return
+        if (
+            self.quarantine_filter is not None
+            and client_id not in self.quarantine_filter
+        ):
+            # Evidence about a client another partition owns: recorded
+            # by the detector, evicted on its home replica.
+            return
+        self.quarantined.add(client_id)
+        servers = getattr(self, "shard_servers", None) or [self.server]
+        for server in servers:
+            server.evict_client(client_id)
+        stopper = self._heartbeat_stoppers.pop(client_id, None)
+        if stopper is not None:
+            stopper()
+        if self.on_quarantine is not None:
+            self.on_quarantine(client_id)
+
+    def _absorb_cheat_violation(self, violation) -> bool:
+        """Sanitizer hook: route a planned cheater's RW-set violations
+        to the ``evidence`` detector instead of the run's violation
+        report (returning True absorbs them — no report entry, and no
+        raise under the ambient raise-mode sanitizer).  Violations by
+        honest clients' actions fall through untouched."""
+        plan = self.config.adversary
+        client_id = violation.client_id
+        if (
+            client_id is None
+            or plan is None
+            or plan.model_of(client_id) is None
+        ):
+            return False
+        if self.detector is not None:
+            self.detector.flag(
+                "evidence",
+                client_id,
+                action=violation.action,
+                detail=violation.render(),
+            )
+        return True
+
     def mark_alive(self, client_id: ClientId) -> None:
         """The harness reconnected this client.
 
@@ -457,7 +572,9 @@ class SeveEngine:
         return [
             client_id
             for client_id in self.clients
-            if client_id not in self.dead and client_id in tracked
+            if client_id not in self.dead
+            and client_id not in self.quarantined
+            and client_id in tracked
         ]
 
     def client(self, client_id: ClientId) -> ProtocolClient:
@@ -503,7 +620,7 @@ class SeveEngine:
         if any(
             client.pending_count
             for client_id, client in self.clients.items()
-            if client_id not in self.dead
+            if client_id not in self.dead and client_id not in self.quarantined
         ):
             return False
         if self.config.liveness is not None:

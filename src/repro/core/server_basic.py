@@ -72,6 +72,7 @@ class BasicServer:
         timestamp_cost_ms: float = 0.0,
         liveness: Optional[LivenessConfig] = None,
         obs=None,
+        detector=None,
     ) -> None:
         self.sim = sim
         self.network = network
@@ -81,6 +82,9 @@ class BasicServer:
         self.liveness = liveness
         #: Optional :class:`repro.obs.Observer` (read-only telemetry).
         self._obs = obs
+        #: Optional :class:`repro.core.detection.CheatDetector`; ``None``
+        #: (honest runs) keeps every path byte-identical.
+        self.detector = detector
         #: The global action queue; index == order number pos(a).
         self.queue: List[Action] = []
         #: pos_C per client: index of the last action sent to C
@@ -155,12 +159,25 @@ class BasicServer:
             self._note_alive(src)
             return
         if not isinstance(payload, SubmitAction):
+            if self.detector is not None:
+                # The basic serializer has no completion channel, so any
+                # non-submit payload is a protocol breach — which is the
+                # detection signal for the completion-forging cheats.
+                self.detector.flag(
+                    "breach", src,
+                    detail=f"unexpected {type(payload).__name__} "
+                    f"to the basic serializer",
+                )
+                return
             raise ProtocolError(
                 f"basic server: unexpected message {type(payload).__name__}"
             )
         self._note_alive(src)
         action = payload.action
+        detector = self.detector
         if action.action_id in self._seen_actions:
+            if detector is not None and detector.check_replay(src, action):
+                return
             self.stats.duplicate_submissions += 1
             return
         if src in self._detached and src not in self.pos:
@@ -169,6 +186,11 @@ class BasicServer:
             # to serialize (never-attached clients still hit the
             # ProtocolError below).
             return
+        if detector is not None:
+            if detector.screen_submission(src, action):
+                return  # rejected pre-burn, zero CPU, zero footprint
+            detector.remember_submission(action)
+            detector.note_admit(src, action)
         self._seen_actions.add(action.action_id)
 
         def serialize() -> None:

@@ -156,6 +156,7 @@ class IncompleteWorldServer:
         liveness: Optional[LivenessConfig] = None,
         server_id: ClientId = SERVER_ID,
         obs=None,
+        detector=None,
     ) -> None:
         if info_bound is not None and predicate is None:
             raise ConfigurationError(
@@ -181,6 +182,10 @@ class IncompleteWorldServer:
         #: Optional :class:`repro.obs.Observer`.  Read-only telemetry:
         #: the observer never changes costs, batches, or scheduling.
         self._obs = obs
+        #: Optional :class:`repro.core.detection.CheatDetector` shared
+        #: by every server of the engine; ``None`` (honest runs) keeps
+        #: every path byte-identical to the pre-detection code.
+        self.detector = detector
         self.known = KnownValuesTracker()
         self.stats = IncompleteServerStats()
         #: ActionIds already serialized (idempotent resubmission; grows
@@ -298,7 +303,10 @@ class IncompleteWorldServer:
             return
         if isinstance(payload, SubmitAction):
             action = payload.action
+            detector = self.detector
             if action.action_id in self._seen_actions:
+                if detector is not None and detector.check_replay(src, action):
+                    return
                 self.stats.duplicate_submissions += 1
                 return
             if src not in self.clients:
@@ -308,6 +316,13 @@ class IncompleteWorldServer:
                 # post-reattach resubmissions would be absorbed forever
                 # and the action would never serialize.
                 return
+            if detector is not None:
+                if detector.screen_submission(src, action):
+                    # Rejected before the id burn and before any server
+                    # CPU: a forged submission leaves zero footprint.
+                    return
+                detector.remember_submission(action)
+                detector.note_admit(src, action)
             self._seen_actions.add(action.action_id)
             self._note_submission(src, action)
             cost = self.costs.timestamp_ms
@@ -700,6 +715,8 @@ class IncompleteWorldServer:
     # Commit path (Algorithm 5 step 4)
     # ------------------------------------------------------------------
     def _record_completion(self, src: ClientId, message: Completion) -> None:
+        if self.detector is not None and self._screen_completion(src, message):
+            return
         if message.pos < self._base_pos:
             return  # already installed (duplicate from fault-tolerant mode)
         index = message.pos - self._base_pos
@@ -717,6 +734,62 @@ class IncompleteWorldServer:
         entry.record_completion(message.result, src)
         self._advance_frontier()
 
+    def _screen_completion(self, src: ClientId, message: Completion) -> bool:
+        """Cheat-detection screen over a reported completion.
+
+        ``True`` means *drop* (evidence, if any, is already flagged);
+        honest paths fall through to the normal recording code.  The
+        screen is **pure on accept** — a completion may be screened
+        more than once (the shard server screens before relaying span
+        results, then the shared base path screens again).
+        """
+        from repro.core.detection import SILENT_DROP
+
+        detector = self.detector
+        if message.pos < self._base_pos:
+            # Already committed.  A *conflicting* result from the
+            # action's own originator for a committed slot is
+            # equivocation (the first report may have committed the
+            # entry synchronously before the second arrived); anything
+            # else is the normal fault-tolerant duplicate.
+            committed = detector.committed_result(message.pos)
+            if committed is not None:
+                result, originator = committed
+                if message.result != result and src == originator:
+                    detector.flag(
+                        "equivocation", src, action=message.action_id,
+                        detail=f"conflicting result for committed pos "
+                        f"{message.pos}",
+                    )
+            return True
+        index = message.pos - self._base_pos
+        if index >= len(self._entries):
+            detector.flag(
+                "breach", src, action=message.action_id,
+                detail=f"completion for unknown pos {message.pos}",
+            )
+            return True
+        entry = self._entries[index]
+        if entry.action.action_id != message.action_id:
+            detector.flag(
+                "breach", src, action=message.action_id,
+                detail=f"completion id mismatch at pos {message.pos} "
+                f"({entry.action.action_id})",
+            )
+            return True
+        verdict = detector.screen_completion(
+            src, entry.action, entry.completion, entry.reporters,
+            message.result,
+        )
+        if verdict is None:
+            return False
+        if verdict != SILENT_DROP:
+            detector.flag(
+                verdict, src, action=message.action_id,
+                detail=f"reported completion for pos {message.pos}",
+            )
+        return True
+
     def _advance_frontier(self) -> None:
         """Install ready entries in strict queue order; GC the queue."""
         while self._entries and self._entries[0].committed_ready:
@@ -728,6 +801,10 @@ class IncompleteWorldServer:
             if entry.valid is False:
                 continue
             assert entry.completion is not None
+            if self.detector is not None:
+                self.detector.remember_commit(
+                    entry.pos, entry.completion, entry.action.client_id
+                )
             values = entry.completion.values()
             self.state.merge(values, commit_index=entry.pos)
             if self._client_index is not None:

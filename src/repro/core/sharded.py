@@ -397,6 +397,11 @@ class ShardServer(IncompleteWorldServer):
     # Result distribution
     # ------------------------------------------------------------------
     def _record_completion(self, src: ClientId, message: Completion) -> None:
+        # Cheat screen *before* the span-result relay: a lying result
+        # must not be broadcast to peer shards.  The screen is pure on
+        # accept, so the base class screening it again is harmless.
+        if self.detector is not None and self._screen_completion(src, message):
+            return
         # Owner side: the originator's completion doubles as the span's
         # committed result; relay it to the involved peers before the
         # frontier (possibly) pops the entry.
@@ -753,6 +758,7 @@ class ShardedSeveEngine(SeveEngine):
                 liveness=config.liveness,
                 server_id=host_id,
                 obs=self.obs,
+                detector=self.detector,
             )
             self.shard_servers.append(server)
             self.shard_states.append(state)
@@ -827,7 +833,7 @@ class ShardedSeveEngine(SeveEngine):
         if any(
             client.pending_count
             for client_id, client in self.clients.items()
-            if client_id not in self.dead
+            if client_id not in self.dead and client_id not in self.quarantined
         ):
             return False
         if self.config.liveness is not None:
@@ -836,7 +842,11 @@ class ShardedSeveEngine(SeveEngine):
                 for client_id in self.dead
             ):
                 return False
-        if any(client._migrating for client in self.clients.values()):
+        if any(
+            client._migrating
+            for client_id, client in self.clients.items()
+            if client_id not in self.quarantined
+        ):
             return False
         if any(server._handoffs for server in self.shard_servers):
             return False
@@ -847,6 +857,7 @@ class ShardedSeveEngine(SeveEngine):
             client_id
             for client_id in self.clients
             if client_id not in self.dead
+            and client_id not in self.quarantined
             and any(client_id in server.clients for server in self.shard_servers)
         ]
 

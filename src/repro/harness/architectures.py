@@ -134,8 +134,11 @@ def build_engine(
             use_velocity_culling=settings.use_velocity_culling,
             # Crash plans force fault-tolerant completions: the server
             # must be able to commit actions whose originator died.
+            # Adversary plans force them too: a quarantined cheater's
+            # entries must commit from honest reporters.
             fault_tolerant=settings.fault_tolerant
-            or bool(settings.fault_plan and settings.fault_plan.crashes),
+            or bool(settings.fault_plan and settings.fault_plan.crashes)
+            or settings.adversary_active,
             eval_overhead_ms=settings.eval_overhead_ms,
             fault_plan=settings.fault_plan,
             reliability=reliability,
@@ -148,6 +151,7 @@ def build_engine(
             backbone_latency_ms=settings.backbone_latency_ms,
             obs=obs,
             rwset_sanitizer=settings.rwset_sanitizer,
+            adversary=settings.adversary,
         )
         if settings.shards > 1:
             from repro.core.sharded import ShardedSeveEngine, ShardingConfig
@@ -176,6 +180,12 @@ def build_engine(
         raise ConfigurationError(
             f"--rwset-sanitizer is only wired through the SEVE engines "
             f"(the RS/WS contract is theirs); got {architecture!r}"
+        )
+    if settings.adversary_active:
+        raise ConfigurationError(
+            f"--adversary is only wired through the SEVE engines "
+            f"(the detection layer lives on their validation path); "
+            f"got {architecture!r}"
         )
     baseline_config = BaselineConfig(
         rtt_ms=settings.rtt_ms,

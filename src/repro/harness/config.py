@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.adversary import AdversaryPlan
 from repro.errors import ConfigurationError
 from repro.net.faults import FaultPlan
 from repro.world.manhattan import ManhattanConfig
@@ -107,6 +108,16 @@ class SimulationSettings:
     #: eviction and fault-tolerant completions.
     fault_plan: Optional[FaultPlan] = None
 
+    # -- adversaries (docs/adversary.md) ------------------------------------
+    #: Per-client cheating models (``--adversary``); ``None`` (or a null
+    #: plan) keeps every client honest and takes the identical code
+    #: path.  A non-null plan substitutes seeded cheating clients, arms
+    #: the server-side detection/quarantine layer, and forces
+    #: fault-tolerant completions (so honest clients' completions can
+    #: commit entries whose cheating originator was quarantined).  Only
+    #: wired through the SEVE engines.
+    adversary: Optional["AdversaryPlan"] = None
+
     # -- execution backend (docs/parallel.md) -------------------------------
     #: How the run executes on real hardware: "inproc" (everything in
     #: this process) or "parallel" (spawned ``multiprocessing`` workers).
@@ -179,6 +190,18 @@ class SimulationSettings:
                 "backbone_latency_ms must be positive, got "
                 f"{self.backbone_latency_ms}"
             )
+        if self.adversary is not None and not isinstance(
+            self.adversary, AdversaryPlan
+        ):
+            raise ConfigurationError(
+                f"adversary must be an AdversaryPlan, "
+                f"got {type(self.adversary).__name__}"
+            )
+
+    @property
+    def adversary_active(self) -> bool:
+        """Whether a non-null adversary plan is armed for this run."""
+        return self.adversary is not None and not self.adversary.is_null
 
     @property
     def effective_threshold(self) -> float:

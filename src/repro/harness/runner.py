@@ -92,6 +92,25 @@ class RunResult:
     #: the shard host's simulated CPU time.  ``None`` for single-server
     #: architectures.
     shard_rows: Optional[list] = None
+    # -- adversaries (docs/adversary.md); all empty without a plan --
+    #: One :class:`repro.core.detection.DetectionRecord` per (detector,
+    #: client) pair the server-side cheat detection flagged.
+    detection_records: tuple = ()
+    #: Per-detector raw hit counts (every observation, not deduplicated);
+    #: ``None`` when no adversary plan was armed.
+    detector_counts: Optional[Dict[str, int]] = None
+    #: Clients the detection layer quarantined, in id order.
+    clients_quarantined: tuple = ()
+    #: Admitted-write footprint per quarantined client — how many
+    #: distinct objects the server let the cheater name as write targets
+    #: before detection caught up (0 for cheats rejected at admission);
+    #: ``None`` when no adversary plan was armed.
+    blast_radius: Optional[Dict[int, int]] = None
+
+    @property
+    def cheats_detected(self) -> int:
+        """Distinct (detector, client) pairs the server flagged."""
+        return len(self.detection_records)
 
     @property
     def closure_overhead_percent(self) -> float:
@@ -172,6 +191,10 @@ def run_simulation(
             world = build_world(settings)
         engine = build_engine(architecture, settings, world, obs=obs)
         workload = MoveWorkload(engine, world, settings)
+        if getattr(engine, "detector", None) is not None:
+            # Quarantined cheaters must stop generating moves, or the
+            # drain loop waits on submissions that can never commit.
+            engine.on_quarantine = workload.stop_client
 
         if faults_active:
             # Periodic fault machinery (heartbeats, liveness sweeps) must
@@ -196,9 +219,13 @@ def run_simulation(
     shard_audit = None
     if check_consistency:
         # Crashed/evicted clients are excluded: the paper's guarantee
-        # (Section III-C) covers the surviving replicas only.
+        # (Section III-C) covers the surviving replicas only.  The same
+        # holds for quarantined cheaters — their replicas lied by
+        # construction, so Theorem 1 is asserted over the honest rest.
         client_ids = (
-            engine.live_client_ids() if faults_active else engine.clients.keys()
+            engine.live_client_ids()
+            if faults_active or settings.adversary_active
+            else engine.clients.keys()
         )
         replicas = {
             client_id: _stable_replica(engine.clients[client_id])
@@ -336,7 +363,36 @@ def run_simulation(
         profile=profile,
         shard_audit=shard_audit,
         shard_rows=shard_rows,
+        **_detection_summary(engine),
     )
+
+
+def _detection_summary(engine) -> Dict[str, object]:
+    """The adversary-detection RunResult fields for any engine shape.
+
+    Real engines carry a ``detector`` (:mod:`repro.core.detection`) and a
+    ``quarantined`` set; the windowed-partition ``MergedRun`` exposes the
+    already-merged ``detection_records``/``detector_counts``/
+    ``quarantined`` attributes directly.  Honest runs yield the dataclass
+    defaults, so the fields stay empty on the byte-identical null path.
+    """
+    detector = getattr(engine, "detector", None)
+    if detector is not None:
+        return {
+            "detection_records": tuple(detector.records),
+            "detector_counts": dict(detector.counts),
+            "clients_quarantined": tuple(sorted(engine.quarantined)),
+            "blast_radius": dict(detector.blast_radius),
+        }
+    counts = getattr(engine, "detector_counts", None)
+    if counts is not None:  # MergedRun with an armed adversary plan
+        return {
+            "detection_records": tuple(engine.detection_records),
+            "detector_counts": dict(counts),
+            "clients_quarantined": tuple(sorted(engine.quarantined)),
+            "blast_radius": dict(engine.blast_radius or {}),
+        }
+    return {}
 
 
 def _schedule_crashes(engine, workload: MoveWorkload, plan) -> None:

@@ -92,6 +92,37 @@ def fault_rows(result) -> List[List[Cell]]:
     ]
 
 
+def adversary_rows(result) -> List[List[Cell]]:
+    """Cheat-detection counter rows for a :class:`RunResult`.
+
+    Returned as ``(metric, value)`` pairs ready for ``Table.add_row`` —
+    the CLI appends them to its report when an adversary plan was
+    active.  Per-detector counts come out name-sorted.
+
+    >>> from types import SimpleNamespace
+    >>> adversary_rows(SimpleNamespace(
+    ...     cheats_detected=2,
+    ...     clients_quarantined=(2, 5),
+    ...     detector_counts={"forgery": 3, "equivocation": 1},
+    ... ))
+    [['cheats detected', 2], ['clients quarantined', '2, 5'], ['detect[equivocation]', 1], ['detect[forgery]', 3]]
+    >>> adversary_rows(SimpleNamespace(
+    ...     cheats_detected=0, clients_quarantined=(), detector_counts={}
+    ... ))[1]
+    ['clients quarantined', 'none']
+    """
+    quarantined = ", ".join(
+        str(client_id) for client_id in result.clients_quarantined
+    )
+    rows: List[List[Cell]] = [
+        ["cheats detected", result.cheats_detected],
+        ["clients quarantined", quarantined or "none"],
+    ]
+    for name, count in sorted((result.detector_counts or {}).items()):
+        rows.append([f"detect[{name}]", count])
+    return rows
+
+
 def profile_rows(profile: dict) -> List[List[Cell]]:
     """Per-phase breakdown rows from a :attr:`RunResult.profile` dict.
 

@@ -165,6 +165,17 @@ class PartitionSnapshot:
     shards: List[ShardSnapshot]
     rwset_violations: Tuple[str, ...]
     observer: object = None
+    # -- adversary detection (docs/adversary.md); defaults = honest run --
+    #: :class:`repro.core.detection.DetectionRecord` tuples (picklable).
+    detection: Tuple = ()
+    #: Clients this partition's detector quarantined (owned ones only).
+    quarantined: Tuple[ClientId, ...] = ()
+    #: Per-detector raw hit counts; ``None`` when no plan was armed.
+    detector_counts: object = None
+    #: Admitted-write footprint per quarantined client (``None`` when no
+    #: plan was armed).  Only the cheater's home partition admits its
+    #: submissions, so other partitions report zero for that client.
+    blast_radius: object = None
 
 
 class _Rendered:
@@ -253,6 +264,15 @@ class PartitionReplica:
         self._send_seq = 0
         self._discard_remote = False
         self.workload = MoveWorkload(engine, engine.world, settings)
+        if engine.detector is not None:
+            # Quarantine is partition-local: every replica builds the
+            # full deployment, but a cheater's home shard — the choke
+            # point all its submissions and completions go through — is
+            # owned by the same partition that owns the client, so the
+            # owner sees every detection that matters and only the
+            # owner may evict the cheater and stop its workload.
+            engine.quarantine_filter = set(self.owned_clients)
+            engine.on_quarantine = self.workload.stop_client
 
     # -- transport ---------------------------------------------------------
     def _sink(
@@ -334,7 +354,10 @@ class PartitionReplica:
 
     def _quiescent(self) -> bool:
         engine = self.engine
+        quarantined = getattr(engine, "quarantined", ())
         for client_id in self.owned_clients:
+            if client_id in quarantined:
+                continue  # evicted mid-flight; nothing left to drain
             client = engine.clients[client_id]
             if client.pending_count or client._migrating:
                 return False
@@ -389,6 +412,16 @@ class PartitionReplica:
             violation.render()
             for violation in (recorder.violations if recorder is not None else ())
         )
+        detector = engine.detector
+        detection: Tuple = ()
+        quarantined: Tuple[ClientId, ...] = ()
+        detector_counts = None
+        blast_radius = None
+        if detector is not None:
+            detection = tuple(detector.records)
+            quarantined = tuple(sorted(engine.quarantined))
+            detector_counts = dict(detector.counts)
+            blast_radius = dict(detector.blast_radius)
         return PartitionSnapshot(
             partition=self.partition,
             now=engine.sim.now,
@@ -412,6 +445,10 @@ class PartitionReplica:
             shards=shards,
             rwset_violations=violations,
             observer=self.obs,
+            detection=detection,
+            quarantined=quarantined,
+            detector_counts=detector_counts,
+            blast_radius=blast_radius,
         )
 
 
@@ -677,6 +714,42 @@ class MergedRun:
             stats.visible_samples.extend(snapshot.workload.visible_samples)
         self.workload_stats = stats
 
+        # Adversary detection (docs/adversary.md): sum the per-detector
+        # counters, dedupe the flag records — the same (detector, client)
+        # pair can fire on several partitions (e.g. lying-rs evidence on
+        # every replica applying the pushed lie) — and union quarantines.
+        # ``detector_counts`` stays None on honest runs so the runner's
+        # RunResult keeps its dataclass defaults (the null-plan contract).
+        self.detector_counts = None
+        self.detection_records: Tuple = ()
+        self.quarantined: set = set()
+        self.blast_radius = None
+        if any(s.detector_counts is not None for s in snapshots):
+            counts: Dict[str, int] = {}
+            seen = set()
+            records = []
+            # Per-client max: only the cheater's home partition admitted
+            # its submissions, the rest report a zero footprint.
+            blast: Dict[ClientId, int] = {}
+            for snapshot in snapshots:
+                for name, count in (snapshot.detector_counts or {}).items():
+                    counts[name] = counts.get(name, 0) + count
+                for record in snapshot.detection:
+                    key = (record.detector, record.client_id)
+                    if key not in seen:
+                        seen.add(key)
+                        records.append(record)
+                self.quarantined.update(snapshot.quarantined)
+                for client_id, footprint in (
+                    snapshot.blast_radius or {}
+                ).items():
+                    blast[client_id] = max(
+                        blast.get(client_id, 0), footprint
+                    )
+            self.detector_counts = counts
+            self.detection_records = tuple(records)
+            self.blast_radius = blast
+
     @property
     def drop_percent(self) -> float:
         if self._submitted == 0:
@@ -688,6 +761,7 @@ class MergedRun:
             client_id
             for client_id in self.clients
             if client_id in self._attached
+            and client_id not in self.quarantined
         ]
 
     def span_gsn_map(self) -> Dict:

@@ -1,0 +1,125 @@
+"""Differential proof of the adversary determinism contract: a *null*
+:class:`AdversaryPlan` (no assignments) must be byte-identical to
+running with no plan at all — same messages, same virtual timestamps,
+same stats, same final state.  Arming the adversary subsystem may never
+perturb an honest run (docs/adversary.md), clean or degraded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import AdversaryPlan
+from repro.core.messages import ActionBatch
+from repro.harness.architectures import build_engine, build_world
+from repro.harness.config import SimulationSettings
+from repro.harness.runner import run_simulation
+from repro.harness.workload import MoveWorkload
+from repro.net.faults import FaultPlan
+from repro.types import SERVER_ID
+
+BASE = SimulationSettings(
+    num_clients=12,
+    num_walls=150,
+    moves_per_client=8,
+    world_width=300.0,
+    world_height=300.0,
+    spawn_extent=80.0,
+    rtt_ms=150.0,
+    move_interval_ms=200.0,
+    move_cost_ms=1.0,
+    eval_overhead_ms=0.1,
+    seed=13,
+)
+
+#: A plan that corrupts nobody: must be indistinguishable from None.
+NULL_PLAN = AdversaryPlan(seed=99)
+
+#: Degraded-network plan for the lossy variant of the proof: the
+#: adversary layer must stay inert under retries and jitter too.
+LOSSY = FaultPlan(loss_rate=0.05, jitter_ms=30.0, duplicate_rate=0.02, seed=8)
+
+ARCHITECTURES = ["seve", "seve-basic", "incomplete"]
+
+
+def _observables(result):
+    """Everything a RunResult exposes that an honest run determines."""
+    summary = result.response
+    return (
+        result.moves_submitted,
+        result.responses_observed,
+        (summary.count, summary.mean, summary.p95, summary.maximum),
+        result.total_traffic_kb,
+        result.client_traffic_kb,
+        result.server_traffic_kb,
+        result.virtual_ms,
+        result.events,
+        result.total_cpu_ms,
+        result.messages_dropped,
+        result.messages_duplicated,
+        result.retransmissions,
+        result.clients_evicted,
+        None if result.consistency is None else result.consistency.consistent,
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+@pytest.mark.parametrize("fault_plan", [None, LOSSY], ids=["clean", "lossy"])
+def test_null_plan_is_byte_identical_to_no_plan(architecture, fault_plan):
+    world = build_world(BASE)
+    base = BASE.with_(fault_plan=fault_plan)
+    absent = run_simulation(architecture, base, world=world)
+    null = run_simulation(
+        architecture, base.with_(adversary=NULL_PLAN), world=world
+    )
+    assert _observables(null) == _observables(absent)
+    # The detection layer was never armed: RunResult keeps its
+    # detector-free defaults on both sides.
+    for result in (absent, null):
+        assert result.detector_counts is None
+        assert result.detection_records == ()
+        assert result.clients_quarantined == ()
+
+
+@pytest.mark.slow
+def test_null_plan_message_stream_identical_for_seve():
+    """Beyond aggregates: every server batch (destination, virtual send
+    time, wire size) must match message-for-message."""
+
+    def run(settings):
+        world = build_world(settings)
+        engine = build_engine("seve", settings, world)
+        assert engine.detector is None  # null plan arms nothing
+        sends = []
+        real_send = engine.network.send
+
+        def logging_send(src, dst, payload, size_bytes, **kwargs):
+            if src == SERVER_ID and isinstance(payload, ActionBatch):
+                sends.append(
+                    (
+                        engine.sim.now,
+                        dst,
+                        tuple(e.pos for e in payload.entries),
+                        payload.last_installed,
+                        size_bytes,
+                    )
+                )
+            return real_send(src, dst, payload, size_bytes, **kwargs)
+
+        engine.network.send = logging_send
+        workload = MoveWorkload(engine, world, settings)
+        engine.start()
+        workload.install()
+        engine.run(until=settings.workload_duration_ms + 2_000.0)
+        engine.run_to_quiescence()
+        final_state = {
+            oid: tuple(sorted(engine.state.get(oid).as_dict().items()))
+            for oid in engine.state.ids()
+        }
+        return sends, final_state, engine.sim.now
+
+    absent = run(BASE)
+    null = run(BASE.with_(adversary=NULL_PLAN))
+    assert null == absent
+    assert len(absent[0]) > 50  # the comparison is not vacuous

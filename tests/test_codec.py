@@ -212,6 +212,40 @@ def test_corrupt_body_length_raises():
         codec().decode(bytes(frame))
 
 
+def test_bit_flipped_action_sub_tag_raises():
+    # Adversarial/corrupt peers must not be able to smuggle garbage
+    # through the inner action frame: an unassigned sub-tag byte (the
+    # 'M'/'B'/'P' discriminator right after the 5-byte outer header)
+    # fails loudly instead of dispatching to the wrong decoder.
+    frame = bytearray(codec().encode(SubmitAction(move_action())))
+    assert chr(frame[5]) == "M"
+    frame[5] ^= 0xFF
+    with pytest.raises(CodecError):
+        codec().decode(bytes(frame))
+
+
+def test_oversized_inner_length_raises():
+    # A length prefix pointing past the end of the body (here the
+    # avatar oid's u32, the first variable-length field of a move
+    # frame) must raise, not over-read into adjacent frames.
+    frame = bytearray(codec().encode(SubmitAction(move_action())))
+    frame[22:26] = (0xFF, 0xFF, 0xFF, 0xFF)
+    with pytest.raises(CodecError):
+        codec().decode(bytes(frame))
+
+
+def test_truncated_frame_inside_sequence_raises():
+    # decode_sequence walks concatenated frames; a body cut short mid-
+    # stream (transport-level truncation) surfaces as a CodecError
+    # rather than a silent partial batch.
+    frames = codec().encode_sequence(
+        [Heartbeat(1), SubmitAction(move_action())]
+    )
+    for cut in (len(frames) - 1, len(frames) - 8):
+        with pytest.raises(CodecError):
+            codec().decode_sequence(frames[:cut])
+
+
 def test_move_decode_without_walls_raises():
     frame = codec().encode(SubmitAction(move_action()))
     with pytest.raises(CodecError):
