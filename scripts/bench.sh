@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 tests + the push-path, parallel-backend, and adversary
-# benchmarks.
+# Tier-1 tests + the push-path, parallel-backend, adversary, and
+# elastic benchmarks.
 #
 # Runs the full test suite (differential/property tests included), then
-# regenerates BENCH_pushpath.json, BENCH_parallel.json, and
-# BENCH_adversary.json (repo root + benchmarks/results/) so every PR
-# leaves a fresh before/after perf record.  BENCH_parallel.json is the
-# K in {1,2,4,8} x {inproc,parallel} real-core sweep of the
-# multiprocessing shard backend; its >=2x-at-K=4 acceptance gate only
-# applies on hosts with >= 4 cores.  BENCH_adversary.json records
-# cheat-detection latency and blast radius across K in {1,2,4}, clean
-# and lossy (docs/adversary.md).
+# regenerates BENCH_pushpath.json, BENCH_parallel.json,
+# BENCH_adversary.json, and BENCH_elastic.json (repo root +
+# benchmarks/results/) so every PR leaves a fresh before/after perf
+# record.  BENCH_parallel.json is the K in {1,2,4,8} x
+# {inproc,parallel} real-core sweep of the multiprocessing shard
+# backend; its >=2x-at-K=4 acceptance gate only applies on hosts with
+# >= 4 cores.  BENCH_adversary.json records cheat-detection latency
+# and blast radius across K in {1,2,4}, clean and lossy
+# (docs/adversary.md).  BENCH_elastic.json records bottleneck-shard
+# cost under a K=4 flash crowd with the live rebalancer off vs on,
+# clean and lossy (docs/elasticity.md).
 #
 # Usage:  scripts/bench.sh [--quick]        (--quick: smaller end-to-end run)
 set -euo pipefail
@@ -21,3 +24,4 @@ export PYTHONPATH=src
 scripts/test.sh
 python benchmarks/bench_wallclock.py "$@"
 python benchmarks/bench_adversary.py "$@"
+python benchmarks/bench_elastic.py "$@"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation lint: link integrity and doc-map coverage.
+"""Documentation lint: link integrity, doc-map coverage, flag freshness.
 
-Two checks, both cheap enough for every test run:
+Four checks, all cheap enough for every test run:
 
 1. **Links resolve.**  Every relative markdown link in the repo's
    documentation (``README.md``, ``DESIGN.md``, ``EXPERIMENTS.md``,
@@ -12,6 +12,15 @@ Two checks, both cheap enough for every test run:
 2. **The doc map is complete.**  Every file matching ``docs/*.md`` must
    be reachable from ``docs/index.md`` by following relative links, so
    a new document cannot silently miss the index.
+3. **The doc-map table is exact.**  Both directions: every row of the
+   ``docs/index.md`` doc-map table must point at an existing file
+   under ``docs/``, and every ``docs/*.md`` (except the index itself)
+   must have a row — reachability alone would let a document hide
+   behind a transitive link without an entry describing it.
+4. **Flags are real.**  Every ``--flag`` token the documentation
+   mentions must either be defined by ``src/repro/cli.py`` or appear
+   in the :data:`NON_CLI_FLAGS` allowlist of script/tool options, so
+   a renamed or removed CLI argument cannot leave stale advice behind.
 
 Exit status 0 when clean; 1 with one ``file: problem`` line per finding.
 
@@ -41,6 +50,33 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Fenced code blocks — links inside them are examples, not links.
 FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+#: Doc-map table rows in docs/index.md: lines whose first cell is a
+#: markdown link to a document (the evolution table's rows lead with a
+#: PR number, so only the doc-map table matches).
+DOC_MAP_ROW_RE = re.compile(r"^\|\s*\[[^\]]+\]\(([^)\s]+\.md)\)", re.MULTILINE)
+
+#: ``--flag`` tokens anywhere in a document, code fences included —
+#: command examples are exactly the references that go stale.
+FLAG_RE = re.compile(r"(?<![-\w])--[a-z][a-z0-9-]*")
+
+#: Flags legitimately referenced by the documentation but not defined
+#: in ``src/repro/cli.py``: options of scripts/lint.py, scripts/test.sh,
+#: scripts/bench.sh, the benchmark drivers, pytest, and pip.
+NON_CLI_FLAGS = frozenset({
+    "--baseline",
+    "--benchmark-only",
+    "--check",
+    "--fast",
+    "--faults",
+    "--help",
+    "--json",
+    "--no-build-isolation",
+    "--paper-scale",
+    "--quick",
+    "--root",
+    "--write-baseline",
+})
 
 
 def extract_links(text: str) -> list[str]:
@@ -116,6 +152,87 @@ def lint_doc_map(docs_dir: pathlib.Path) -> list[str]:
     ]
 
 
+def doc_map_entries(index_text: str) -> list[str]:
+    """Link targets of the doc-map table rows in ``index_text``.
+
+    >>> doc_map_entries(
+    ...     "| [a.md](a.md) | topic | when |\\n"
+    ...     "|---|---|---|\\n"
+    ...     "| 4 | evolution row | [a.md](a.md) |"
+    ... )
+    ['a.md']
+    """
+    return DOC_MAP_ROW_RE.findall(index_text)
+
+
+def lint_doc_map_table(docs_dir: pathlib.Path) -> list[str]:
+    """``file: problem`` lines for doc-map-table/``docs/*.md`` mismatches."""
+    index = docs_dir / "index.md"
+    if not index.exists():
+        return []  # lint_doc_map already reports the missing index
+    rel_index = index.relative_to(REPO_ROOT)
+    problems = []
+    listed = set()
+    for target in doc_map_entries(index.read_text()):
+        path = link_target_path(index, target)
+        if path.exists():
+            listed.add(path)
+        else:
+            problems.append(
+                f"{rel_index}: doc-map entry points at missing file "
+                f"({target})"
+            )
+    for doc in sorted(docs_dir.glob("*.md")):
+        if doc.resolve() == index.resolve():
+            continue
+        if doc.resolve() not in listed:
+            problems.append(
+                f"{doc.relative_to(REPO_ROOT)}: missing from the "
+                f"{rel_index} doc-map table"
+            )
+    return problems
+
+
+def referenced_flags(text: str) -> list[str]:
+    """All ``--flag`` tokens in ``text`` (fences included, dedup'd,
+    sorted).
+
+    >>> referenced_flags("Run with `--shards 4 --elastic`; a--b and "
+    ...                  "|---| are not flags, --shards repeats.")
+    ['--elastic', '--shards']
+    """
+    return sorted(set(FLAG_RE.findall(text)))
+
+
+def cli_flags(cli_source: str) -> frozenset:
+    """The long options ``src/repro/cli.py`` defines — every quoted
+    ``"--..."`` literal (all of which are ``add_argument`` names).
+
+    >>> sorted(cli_flags('p.add_argument("--shards", type=int)\\n'
+    ...                  'q.add_argument("--elastic", action="x")'))
+    ['--elastic', '--shards']
+    """
+    return frozenset(re.findall(r'"(--[a-z][a-z0-9-]*)"', cli_source))
+
+
+def lint_flags(docs: list[pathlib.Path]) -> list[str]:
+    """``file: problem`` lines for ``--flag`` mentions that are neither
+    CLI arguments nor allowlisted script options."""
+    known = cli_flags(
+        (REPO_ROOT / "src" / "repro" / "cli.py").read_text()
+    ) | NON_CLI_FLAGS
+    problems = []
+    for doc in docs:
+        for flag in referenced_flags(doc.read_text()):
+            if flag not in known:
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: stale flag "
+                    f"reference ({flag}) — not in repro/cli.py or the "
+                    f"NON_CLI_FLAGS allowlist"
+                )
+    return problems
+
+
 def main() -> int:
     docs_dir = REPO_ROOT / "docs"
     docs = [
@@ -123,7 +240,12 @@ def main() -> int:
         for name in TOP_LEVEL_DOCS
         if (REPO_ROOT / name).exists()
     ] + sorted(docs_dir.glob("*.md"))
-    problems = lint_links(docs) + lint_doc_map(docs_dir)
+    problems = (
+        lint_links(docs)
+        + lint_doc_map(docs_dir)
+        + lint_doc_map_table(docs_dir)
+        + lint_flags(docs)
+    )
     for problem in problems:
         print(problem)
     if not problems:

@@ -40,7 +40,8 @@ lint_and_doctests() {
   python scripts/docs_lint.py
   python -m pytest -x -q --doctest-modules \
     src/repro/obs src/repro/metrics/report.py src/repro/net/stats.py \
-    src/repro/core/detection.py scripts/docs_lint.py
+    src/repro/core/detection.py src/repro/core/elastic.py \
+    scripts/docs_lint.py
 }
 
 # End-to-end smoke of the sharded deployment through the real CLI (the
@@ -67,12 +68,23 @@ adversary_smoke() {
     --seed 11 >/dev/null
 }
 
+# Elastic smoke (docs/elasticity.md): a K=4 run through the real CLI
+# with the live rebalancer on an aggressive trigger — load reports,
+# split/merge drains, and the cross-shard audit all inside the exit
+# code.
+elastic_smoke() {
+  python -m repro run seve --clients 8 --walls 0 --moves 10 --shards 4 \
+    --elastic --elastic-interval-ms 400 --elastic-threshold 1.5 \
+    --seed 7 >/dev/null
+}
+
 case "${1:-}" in
   --fast)
     lint_and_doctests
     python -m pytest -x -q -m "not slow"
     parallel_smoke
     adversary_smoke
+    elastic_smoke
     ;;
   --faults)
     python -m pytest -x -q -m faults
@@ -83,6 +95,7 @@ case "${1:-}" in
     sharded_smoke
     parallel_smoke
     adversary_smoke
+    elastic_smoke
     # Full parallel-vs-inproc differential (clean + lossy, K ∈ {1,2,4})
     python -m pytest -x -q tests/test_parallel_backend.py
     python -m pytest -x -q -m "slow and not faults"

@@ -25,6 +25,7 @@ from repro.harness.runner import run_simulation
 from repro.metrics.report import (
     Table,
     adversary_rows,
+    elastic_rows,
     fault_rows,
     profile_table,
     shard_table,
@@ -93,6 +94,32 @@ def build_parser() -> argparse.ArgumentParser:
         "the declared RS/WS (docs/static_analysis.md); bare flag = "
         "'raise' (abort on first violation), 'report' collects them "
         "into the run report instead",
+    )
+    elastic = run.add_argument_group("elastic sharding (docs/elasticity.md)")
+    elastic.add_argument(
+        "--elastic", action="store_true",
+        help="enable the live load-aware rebalancer: shard 0 collects "
+        "per-shard load deltas and splits hot stripes / merges cold "
+        "ones at run time (requires --shards > 1); off is "
+        "byte-identical to the static partition",
+    )
+    elastic.add_argument(
+        "--elastic-interval-ms", type=float, default=2000.0,
+        help="load-sampling period of the elastic controller (ms)",
+    )
+    elastic.add_argument(
+        "--elastic-threshold", type=float, default=2.0,
+        help="max/mean per-shard load ratio that counts a sampling "
+        "round as imbalanced (> 1)",
+    )
+    elastic.add_argument(
+        "--elastic-hysteresis", type=int, default=2,
+        help="consecutive imbalanced rounds before a rebalance fires",
+    )
+    elastic.add_argument(
+        "--elastic-min-stripe", type=float, default=None,
+        help="narrowest stripe a rebalance may produce, in world units "
+        "(default: derived from the span-classification slack)",
     )
     faults = run.add_argument_group(
         "fault injection (docs/fault_model.md)"
@@ -200,6 +227,11 @@ def _command_run(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
         shards=args.shards,
+        elastic=args.elastic,
+        elastic_interval_ms=args.elastic_interval_ms,
+        elastic_threshold=args.elastic_threshold,
+        elastic_hysteresis=args.elastic_hysteresis,
+        elastic_min_stripe=args.elastic_min_stripe,
         backend=args.backend,
         workers=args.workers,
         rwset_sanitizer=args.rwset_sanitizer,
@@ -238,6 +270,9 @@ def _command_run(args: argparse.Namespace) -> int:
             table.add_row(metric, value)
     if settings.adversary is not None:
         for metric, value in adversary_rows(result):
+            table.add_row(metric, value)
+    if settings.elastic:
+        for metric, value in elastic_rows(result):
             table.add_row(metric, value)
     table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
     table.add_row("wall time (s)", result.wall_seconds)

@@ -234,6 +234,72 @@ class HandoffWelcome:
     resolved: Tuple[ActionId, ...] = ()
 
 
+# ----------------------------------------------------------------------
+# Elastic rebalancing control plane (repro.core.elastic,
+# docs/elasticity.md).  All five travel only between shard servers on
+# the fault-free FIFO backbone.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LoadReport:
+    """Shard -> controller (shard 0): one load sample — the cpu and
+    serialized-count deltas accumulated since the previous sample.
+    Every shard reports once per elastic interval; the controller
+    evaluates a round once all K reports for it have arrived."""
+
+    shard: int
+    round: int
+    cpu_ms: float
+    serialized: int
+    clients: int
+
+
+@dataclass(frozen=True)
+class PartitionUpdate:
+    """Controller -> every shard: flip your partition copy to
+    ``version`` with interior stripe ``boundaries``.  Receipt opens an
+    epoch on the shard: a fence at its current queue position, bulk
+    handoffs for clients it no longer owns, and union-of-epochs span
+    classification until the version commits."""
+
+    version: int
+    boundaries: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class DrainDone:
+    """Shard -> controller: my fence for ``version`` passed, my region
+    syncs went out, and every bulk-handoff transfer has been sent."""
+
+    shard: int
+    version: int
+
+
+@dataclass(frozen=True)
+class PartitionCommit:
+    """Controller -> every shard: all K shards drained ``version``;
+    retire the superseded boundaries from span classification."""
+
+    version: int
+
+
+@dataclass(frozen=True)
+class RegionSync:
+    """Losing shard -> gaining shard: committed values of every
+    written object inside the transferred x-interval [lo, hi).
+
+    Each entry is ``(oid, stamp_gsn, stamp_local, attrs)`` with attrs
+    canonicalised like ``ActionResult.written``.  The stamp is the gsn
+    of the last spanning action that wrote the object (-1 if none)
+    plus a flag for a later local write; the receiver applies an entry
+    only if the stamp is strictly newer than its own, so a sync racing
+    a span it already committed never regresses the store."""
+
+    version: int
+    lo: float
+    hi: float
+    entries: Tuple[tuple, ...] = ()
+
+
 def wire_size(message: object) -> int:
     """Simulated size in bytes of a protocol message.
 
@@ -289,6 +355,18 @@ def wire_size(message: object) -> int:
         )
     if isinstance(message, HandoffWelcome):
         return 16 + 8 * len(message.resolved)
+    if isinstance(message, LoadReport):
+        return 32
+    if isinstance(message, PartitionUpdate):
+        return 16 + 8 * len(message.boundaries)
+    if isinstance(message, DrainDone):
+        return 16
+    if isinstance(message, PartitionCommit):
+        return 8
+    if isinstance(message, RegionSync):
+        return 32 + sum(
+            16 + 12 * len(attrs) for _, _, _, attrs in message.entries
+        )
     raise TypeError(f"not a protocol message: {type(message).__name__}")
 
 

@@ -217,6 +217,11 @@ class IncompleteWorldServer:
         #: Reactive replies deferred by the in-order delivery guard,
         #: per client; retried whenever the commit frontier advances.
         self._deferred_replies: Dict[ClientId, List[int]] = {}
+        #: Written ids of entries that committed while a reply to them
+        #: was still deferred — the retry answers from the committed
+        #: value instead of dropping the reply (the non-push replica
+        #: gap).  GC'd as the parked positions drain.
+        self._deferred_commits: Dict[int, frozenset] = {}
         network.register(self.server_id, self._on_message)
 
     # ------------------------------------------------------------------
@@ -792,6 +797,15 @@ class IncompleteWorldServer:
 
     def _advance_frontier(self) -> None:
         """Install ready entries in strict queue order; GC the queue."""
+        deferred_positions = (
+            {
+                pos
+                for positions in self._deferred_replies.values()
+                for pos in positions
+            }
+            if self._deferred_replies
+            else None
+        )
         while self._entries and self._entries[0].committed_ready:
             entry = self._entries.popleft()
             self._base_pos = entry.pos + 1
@@ -809,6 +823,11 @@ class IncompleteWorldServer:
             self.state.merge(values, commit_index=entry.pos)
             if self._client_index is not None:
                 self._refresh_indexed_positions(values)
+            if deferred_positions and entry.pos in deferred_positions:
+                # Someone's reactive reply to this entry is still
+                # parked; remember what it wrote so the retry can teach
+                # the committed values (see _retry_deferred_replies).
+                self._deferred_commits[entry.pos] = entry.completion.written_ids()
             self.known.record_commit(
                 entry.pos, entry.completion.written_ids(), entry.sent
             )
@@ -827,6 +846,14 @@ class IncompleteWorldServer:
         frontier reaches it everything below has left the queue, the
         chain is the entry alone, and the retry must succeed — a
         deferred reply is delayed, never lost.
+
+        An entry can also *commit* while its reply is parked (a
+        fault-tolerant reporter or a spliced span result overtakes the
+        guard).  The entry has left the queue, so the closure reply is
+        moot — but the client still needs its values, or a pull-style
+        client would never learn about the neighbours the entry wrote
+        (the non-push replica gap): answer with a blind write of the
+        committed values instead of dropping.
         """
         for client_id in list(self._deferred_replies):
             if client_id not in self.clients:
@@ -837,7 +864,24 @@ class IncompleteWorldServer:
             still: List[int] = []
             for pos in self._deferred_replies[client_id]:
                 if pos < self._base_pos:
-                    continue  # committed meanwhile (fault-tolerant reporters)
+                    # Committed meanwhile: reply from the committed value.
+                    written = self._deferred_commits.get(pos)
+                    seed_needed = (
+                        self.known.filter_seed(client_id, written)
+                        if written
+                        else frozenset()
+                    )
+                    if seed_needed:
+                        blind = BlindWrite.from_server(
+                            self._blind_seq,
+                            self.state.values_of_present(seed_needed),
+                        )
+                        self._blind_seq += 1
+                        self.known.record_blind_write(client_id, seed_needed)
+                        self.stats.blind_writes_sent += 1
+                        self.stats.blind_objects_sent += len(seed_needed)
+                        self._send_batch(client_id, [OrderedAction(-1, blind)])
+                    continue
                 entry = self._entries[pos - self._base_pos]
                 if entry.valid is False or client_id in entry.sent:
                     continue
@@ -850,6 +894,19 @@ class IncompleteWorldServer:
                 self._deferred_replies[client_id] = still
             else:
                 del self._deferred_replies[client_id]
+        if self._deferred_commits:
+            # GC: keep a committed-behind record only while some parked
+            # client still references its position.
+            live = {
+                pos
+                for positions in self._deferred_replies.values()
+                for pos in positions
+            }
+            self._deferred_commits = {
+                pos: written
+                for pos, written in self._deferred_commits.items()
+                if pos in live
+            }
 
     def _refresh_indexed_positions(self, values: Dict[ObjectId, dict]) -> None:
         """Mirror a commit's avatar writes into the spatial client index

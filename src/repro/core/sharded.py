@@ -61,20 +61,27 @@ jitter, and duplication plans with the ARQ transport are.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.action import Action, ActionId, BlindWrite
 from repro.core.closure import QueueEntry
+from repro.core.elastic import ElasticConfig, plan_boundaries, stripes_touching
 from repro.core.engine import SeveConfig, SeveEngine
 from repro.core.first_bound import FirstBoundPredicate
 from repro.core.info_bound import InformationBound
 from repro.core.messages import (
     Completion,
+    DrainDone,
     HandoffPrepare,
     HandoffReady,
     HandoffTransfer,
     HandoffWelcome,
+    LoadReport,
+    PartitionCommit,
+    PartitionUpdate,
+    RegionSync,
     SpanAbort,
     SpanForward,
     SpanResult,
@@ -106,6 +113,11 @@ class ShardingConfig:
     #: handoff margin), which guarantees no client of an uninvolved
     #: shard can pass the Equation (1) predicate for the action.
     span_slack: Optional[float] = None
+    #: Elastic rebalancer knobs (docs/elasticity.md).  ``None`` (the
+    #: default) keeps the static equal-width stripes and leaves every
+    #: elastic code path dormant — byte-identical to a deployment
+    #: without the rebalancer.
+    elastic: Optional[ElasticConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -167,6 +179,67 @@ class RegionPartition:
         return self.shard_of(x)
 
 
+class ElasticPartition(RegionPartition):
+    """Vertical-stripe partition with mutable, versioned boundaries
+    (the elastic rebalancer's data plane — docs/elasticity.md).
+
+    Stripe k owns x in [boundaries[k-1], boundaries[k]) with the world
+    edges closing the first and last stripe; positions outside the
+    world clamp to the border stripes exactly like the static
+    partition.  ``apply`` swaps the interior cuts in place and bumps
+    the version.  Every shard server (and hence every partition
+    replica of the parallel backend) owns its *own copy* and flips it
+    when the controller's ``PartitionUpdate`` arrives, so the flip
+    happens at the same virtual time on every backend.
+
+    >>> partition = ElasticPartition(100.0, 4)
+    >>> partition.boundaries
+    [25.0, 50.0, 75.0]
+    >>> partition.shard_of(10.0), partition.shard_of(99.0)
+    (0, 3)
+    >>> partition.apply(1, (40.0, 50.0, 60.0))
+    >>> partition.shard_of(10.0), partition.shard_of(45.0), partition.version
+    (0, 1, 1)
+    >>> partition.bounds(3)
+    (60.0, 100.0)
+    >>> partition.shards_touching(55.0, 10.0)
+    (1, 2, 3)
+    """
+
+    def __init__(
+        self,
+        world_width: float,
+        shards: int,
+        boundaries: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(world_width, shards)
+        if boundaries is None:
+            boundaries = [self.stripe_width * k for k in range(1, shards)]
+        if len(boundaries) != shards - 1:
+            raise ConfigurationError(
+                f"need {shards - 1} interior boundaries, got {len(boundaries)}"
+            )
+        self.boundaries: List[float] = list(boundaries)
+        self.version = 0
+
+    def apply(self, version: int, boundaries: Sequence[float]) -> None:
+        """Flip to partition ``version`` with the given interior cuts."""
+        self.version = version
+        self.boundaries = list(boundaries)
+
+    def shard_of(self, x: float) -> int:
+        return bisect_right(self.boundaries, x)
+
+    def bounds(self, shard: int) -> Tuple[float, float]:
+        lo = self.boundaries[shard - 1] if shard > 0 else 0.0
+        hi = (
+            self.boundaries[shard]
+            if shard < self.shards - 1
+            else self.world_width
+        )
+        return lo, hi
+
+
 @dataclass
 class ShardStats:
     """Per-shard counters of the cross-shard machinery."""
@@ -187,6 +260,14 @@ class ShardStats:
     handoffs_in: int = 0
     #: Spanning actions sequenced by this shard (sequencer only).
     spans_sequenced: int = 0
+    #: Rebalances committed (controller only; docs/elasticity.md).
+    rebalances: int = 0
+    #: Clients bulk-handed-off because a rebalance moved their stripe.
+    bulk_handoffs: int = 0
+    #: Region syncs sent to gaining shards (losing side).
+    syncs_sent: int = 0
+    #: Region syncs received from losing shards (gaining side).
+    syncs_received: int = 0
 
 
 class ShardServer(IncompleteWorldServer):
@@ -207,6 +288,7 @@ class ShardServer(IncompleteWorldServer):
         partition: Optional[RegionPartition] = None,
         span_slack: float = 0.0,
         handoff_margin: float = 10.0,
+        elastic: Optional[ElasticConfig] = None,
         **kwargs,
     ) -> None:
         self.shard_index = shard_index
@@ -214,6 +296,45 @@ class ShardServer(IncompleteWorldServer):
         self.span_slack = span_slack
         self.handoff_margin = handoff_margin
         self.shard_stats = ShardStats()
+        # -- elastic rebalancer state (dormant when elastic is None) ----
+        self.elastic = elastic
+        #: Elastic control messages sent/received over the backbone;
+        #: the quiescence checks require the global sums to match so a
+        #: windowed coordinator never discards an in-flight update.
+        self.elastic_sent = 0
+        self.elastic_received = 0
+        #: Open epochs: partition versions applied here but not yet
+        #: committed by the controller (fence not passed everywhere).
+        self._epochs: List[dict] = []
+        #: Interior-cut lists of the open epochs' *superseded*
+        #: partitions; span classification unions these with the
+        #: current cuts so in-flight writes reach old and new owners.
+        self._legacy_boundaries: List[List[float]] = []
+        #: Outbound handoff transfers parked until every open epoch's
+        #: region syncs went out (syncs precede adoptions on FIFO
+        #: backbone links, so a gainer never adopts into a stale store).
+        self._parked_transfers: List[ClientId] = []
+        #: Last-writer stamp per object: (gsn of last spanning write or
+        #: -1, 1 if a local write followed it).  Region syncs carry the
+        #: stamp; receivers apply strictly-newer entries only.
+        self._sync_stamps: Dict[object, Tuple[int, int]] = {}
+        self._load_round = 0
+        self._last_cpu_ms = 0.0
+        self._last_serialized = 0
+        self._min_stripe = 0.0
+        if elastic is not None:
+            self._min_stripe = (
+                elastic.min_stripe
+                if elastic.min_stripe is not None
+                else max(1.0, 2.0 * span_slack)
+            )
+        # -- controller (sequencer) state -------------------------------
+        self._load_reports: Dict[int, Dict[int, LoadReport]] = {}
+        self._imbalance_streak = 0
+        self._pending_version: Optional[int] = None
+        self._drain_done: set = set()
+        #: Committed rebalances: {version, at_ms, imbalance, boundaries}.
+        self.rebalance_log: List[dict] = []
         #: gsn assignment counter (sequencer shard only).
         self._next_gsn = 0
         #: Per-client count of span forwards not yet spliced back.
@@ -259,6 +380,21 @@ class ShardServer(IncompleteWorldServer):
             self._on_handoff_transfer(payload)
         elif isinstance(payload, HandoffReady):
             self._on_handoff_ready(payload)
+        elif isinstance(payload, LoadReport):
+            self.elastic_received += 1
+            self._on_load_report(payload)
+        elif isinstance(payload, PartitionUpdate):
+            self.elastic_received += 1
+            self._on_partition_update(payload)
+        elif isinstance(payload, DrainDone):
+            self.elastic_received += 1
+            self._on_drain_done(payload)
+        elif isinstance(payload, PartitionCommit):
+            self.elastic_received += 1
+            self._on_partition_commit(payload)
+        elif isinstance(payload, RegionSync):
+            self.elastic_received += 1
+            self._on_region_sync(payload)
         else:
             super()._on_message(src, payload)
 
@@ -267,15 +403,27 @@ class ShardServer(IncompleteWorldServer):
     # ------------------------------------------------------------------
     def _involved_shards(self, action: Action) -> Tuple[int, ...]:
         """The shards whose regions the action's influence disc (plus
-        the conservative classification slack) intersects."""
+        the conservative classification slack) intersects.
+
+        During a rebalance epoch the *union* over the current and every
+        superseded-but-uncommitted partition decides: a write into
+        contested territory must reach old and new owner alike, so
+        neither store goes stale while ownership is in flight."""
         if self.partition.shards == 1:
             return (0,)
         if action.position is None:
             # No spatial footprint: conservatively involves everyone.
             return tuple(range(self.partition.shards))
-        return self.partition.shards_touching(
-            action.position.x, action.radius + self.span_slack
-        )
+        radius = action.radius + self.span_slack
+        involved = self.partition.shards_touching(action.position.x, radius)
+        if not self._legacy_boundaries:
+            return involved
+        touched = set(involved)
+        for boundaries in self._legacy_boundaries:
+            touched.update(
+                stripes_touching(boundaries, action.position.x, radius)
+            )
+        return tuple(sorted(touched))
 
     def _admit(self, src: ClientId, action: Action) -> None:
         if src not in self.clients:
@@ -342,6 +490,18 @@ class ShardServer(IncompleteWorldServer):
         """Assign the next gsn and broadcast the splice to every
         involved shard (self-splices run synchronously; peers receive
         over FIFO backbone links, preserving gsn order per shard)."""
+        if self.elastic is not None:
+            # Re-classify against the sequencer's partition view: the
+            # owner may have forwarded under boundaries it had not yet
+            # seen superseded (the controller flips one backbone-hop
+            # earlier than everyone else).  The union can only grow, so
+            # every store that needs this write gets the splice.
+            touched = set(message.involved)
+            touched.update(self._involved_shards(message.action))
+            if len(touched) > len(message.involved):
+                message = SpanForward(
+                    message.owner, tuple(sorted(touched)), message.action
+                )
         gsn = self._next_gsn
         self._next_gsn += 1
         self.shard_stats.spans_sequenced += 1
@@ -526,6 +686,30 @@ class ShardServer(IncompleteWorldServer):
             self._resolved_log.setdefault(client_id, []).append(action_id)
         if client_id in self._handoffs:
             self._maybe_finalize(client_id)
+        if (
+            self.elastic is not None
+            and entry.valid is not False
+            and entry.completion is not None
+        ):
+            # Last-writer stamps for region syncs: spanning writes are
+            # ordered by gsn on every involved shard; a local write
+            # after the last span strictly supersedes it (and can only
+            # exist on the territory's owner).
+            if entry.span:
+                for oid in sorted(entry.completion.written_ids()):
+                    self._sync_stamps[oid] = (entry.gsn, 0)
+            else:
+                for oid in sorted(entry.completion.written_ids()):
+                    prev = self._sync_stamps.get(oid, (-1, 0))
+                    self._sync_stamps[oid] = (prev[0], 1)
+
+    def _advance_frontier(self) -> None:
+        super()._advance_frontier()
+        if self._epochs:
+            # Commits merged above may have pushed _base_pos past an
+            # epoch fence; syncs must read the post-merge store, so the
+            # fence check runs after the whole frontier walk.
+            self._maybe_fence()
 
     # ------------------------------------------------------------------
     # Handoff state machine (owner side)
@@ -584,6 +768,15 @@ class ShardServer(IncompleteWorldServer):
         self._finalize_handoff(client_id, state["target"])
 
     def _finalize_handoff(self, client_id: ClientId, target: int) -> None:
+        if self.elastic is not None and any(
+            not epoch["synced"] for epoch in self._epochs
+        ):
+            # A rebalance fence is still draining: park the transfer so
+            # the region syncs reach the gaining shards first (FIFO
+            # backbone ⇒ the adopter's store is fresh before adoption).
+            if client_id not in self._parked_transfers:
+                self._parked_transfers.append(client_id)
+            return
         record = self.clients[client_id]
         resolved = tuple(self._resolved_log.get(client_id, ()))
         transfer = HandoffTransfer(client_id, record.radius, record.interests, resolved)
@@ -628,6 +821,19 @@ class ShardServer(IncompleteWorldServer):
         self.network.send(
             self.server_id, message.client_id, welcome, wire_size(welcome)
         )
+        if self.elastic is not None and self.partition.shards > 1:
+            # Chained migration: a rebalance may have re-homed this
+            # client while its transfer was in flight, making us a
+            # stale target.  Forward it on (the Prepare follows the
+            # Welcome on the same FIFO downlink, so the client finishes
+            # this migration before parking for the next).
+            position = self._client_position(message.client_id)
+            if position is not None:
+                target = self.partition.home_with_hysteresis(
+                    position.x, self.shard_index, self.handoff_margin
+                )
+                if target != self.shard_index:
+                    self._begin_handoff(message.client_id, target)
 
     def detach_client(self, client_id: ClientId) -> None:
         super().detach_client(client_id)
@@ -636,6 +842,257 @@ class ShardServer(IncompleteWorldServer):
         self._unresolved.pop(client_id, None)
         self._resolved_log.pop(client_id, None)
         self._handoffs.pop(client_id, None)
+        if self.elastic is not None:
+            # A detach for any other reason (eviction, quarantine) must
+            # not wedge an epoch's drain barrier on a gone client.
+            if client_id in self._parked_transfers:
+                self._parked_transfers.remove(client_id)
+            changed = False
+            for epoch in self._epochs:
+                if client_id in epoch["bulk"]:
+                    epoch["bulk"].discard(client_id)
+                    changed = True
+            if changed:
+                self._maybe_drain_done()
+
+    # ------------------------------------------------------------------
+    # Elastic rebalancing (docs/elasticity.md).  Dormant unless the
+    # deployment passes an ElasticConfig; every method below is only
+    # reachable from the load tick or an elastic control message.
+    # ------------------------------------------------------------------
+    def start(self, *, stop_at: Optional[TimeMs] = None) -> None:
+        super().start(stop_at=stop_at)
+        if self.elastic is not None and self.partition.shards > 1:
+            self._stoppers.append(
+                self.sim.call_every(
+                    self.elastic.interval_ms, self._elastic_tick, stop_at=stop_at
+                )
+            )
+
+    def _send_elastic(self, shard: int, message: object) -> None:
+        self.elastic_sent += 1
+        self.network.send(
+            self.server_id, shard_host_id(shard), message, wire_size(message)
+        )
+
+    def _elastic_tick(self) -> None:
+        """Report the load accumulated since the previous tick to the
+        controller (the sequencer, shard 0)."""
+        cpu = self.host.cpu_time_used
+        serialized = self.stats.actions_serialized
+        report = LoadReport(
+            self.shard_index,
+            self._load_round,
+            cpu - self._last_cpu_ms,
+            serialized - self._last_serialized,
+            len(self.clients),
+        )
+        self._load_round += 1
+        self._last_cpu_ms = cpu
+        self._last_serialized = serialized
+        if self.is_sequencer:
+            self._on_load_report(report)
+        else:
+            self._send_elastic(0, report)
+
+    def _on_load_report(self, report: LoadReport) -> None:
+        """Controller: collect one round of per-shard samples; track
+        the imbalance streak; fire a rebalance past the hysteresis."""
+        bucket = self._load_reports.setdefault(report.round, {})
+        bucket[report.shard] = report
+        if len(bucket) < self.partition.shards:
+            return
+        del self._load_reports[report.round]
+        shards = self.partition.shards
+        loads = [bucket[k].cpu_ms for k in range(shards)]
+        if sum(loads) <= 0.0:
+            # Fixed-cost deployments can run with zero modelled server
+            # cpu; fall back to the serialization counters.
+            loads = [float(bucket[k].serialized) for k in range(shards)]
+        total = sum(loads)
+        if total <= 0.0:
+            self._imbalance_streak = 0
+            return
+        imbalance = max(loads) * shards / total
+        if imbalance < self.elastic.threshold:
+            self._imbalance_streak = 0
+            return
+        self._imbalance_streak += 1
+        if self._imbalance_streak < self.elastic.hysteresis:
+            return
+        if self._pending_version is not None:
+            return  # one rebalance in flight at a time
+        self._imbalance_streak = 0
+        self._start_rebalance(loads, imbalance)
+
+    def _start_rebalance(self, loads: List[float], imbalance: float) -> None:
+        bounds = [self.partition.bounds(k) for k in range(self.partition.shards)]
+        cuts = plan_boundaries(
+            loads, bounds, self.partition.world_width, self._min_stripe
+        )
+        if all(
+            abs(new - old) < 1e-9
+            for new, old in zip(cuts, self.partition.boundaries)
+        ):
+            return  # as balanced as the planner can make it
+        version = self.partition.version + 1
+        self._pending_version = version
+        self._drain_done = set()
+        self.rebalance_log.append(
+            {
+                "version": version,
+                "at_ms": self.sim.now,
+                "imbalance": imbalance,
+                "boundaries": tuple(cuts),
+            }
+        )
+        update = PartitionUpdate(version, tuple(cuts))
+        for shard in range(self.partition.shards):
+            if shard != self.shard_index:
+                self._send_elastic(shard, update)
+        self._on_partition_update(update)
+
+    def _on_partition_update(self, update: PartitionUpdate) -> None:
+        """Every shard: flip the partition copy, open an epoch with a
+        fence at the current queue position, and begin bulk handoffs
+        for every client this shard no longer owns."""
+        if update.version <= self.partition.version:
+            return  # defensive: the backbone is reliable and FIFO
+        old_boundaries = list(self.partition.boundaries)
+        old_lo, old_hi = self.partition.bounds(self.shard_index)
+        self.partition.apply(update.version, update.boundaries)
+        epoch = {
+            "version": update.version,
+            "fence": self._next_pos,
+            "old_lo": old_lo,
+            "old_hi": old_hi,
+            "old_boundaries": old_boundaries,
+            "synced": False,
+            "drained": False,
+            "bulk": set(),
+        }
+        self._epochs.append(epoch)
+        self._rebuild_legacy_boundaries()
+        for client_id in sorted(self.clients):
+            if client_id in self._handoffs:
+                continue  # already migrating; adoption re-checks its home
+            position = self._client_position(client_id)
+            if position is None:
+                continue
+            target = self.partition.home_with_hysteresis(
+                position.x, self.shard_index, self.handoff_margin
+            )
+            if target != self.shard_index:
+                epoch["bulk"].add(client_id)
+                self.shard_stats.bulk_handoffs += 1
+                self._begin_handoff(client_id, target)
+        self._maybe_fence()
+
+    def _rebuild_legacy_boundaries(self) -> None:
+        self._legacy_boundaries = [
+            list(epoch["old_boundaries"]) for epoch in self._epochs
+        ]
+
+    def _maybe_fence(self) -> None:
+        """Once the commit frontier passes an epoch's fence, everything
+        serialized under the old boundaries has resolved: send the
+        region syncs, then release any parked handoff transfers."""
+        for epoch in self._epochs:
+            if not epoch["synced"] and self._base_pos >= epoch["fence"]:
+                self._send_region_syncs(epoch)
+                epoch["synced"] = True
+        if self._parked_transfers and not any(
+            not epoch["synced"] for epoch in self._epochs
+        ):
+            parked, self._parked_transfers = self._parked_transfers, []
+            for client_id in parked:
+                state = self._handoffs.get(client_id)
+                if state is not None:
+                    self._finalize_handoff(client_id, state["target"])
+        self._maybe_drain_done()
+
+    def _send_region_syncs(self, epoch: dict) -> None:
+        """Losing side: ship the committed values of every written
+        object in each transferred interval to its gaining shard."""
+        for shard in range(self.partition.shards):
+            if shard == self.shard_index:
+                continue
+            new_lo, new_hi = self.partition.bounds(shard)
+            lo = max(epoch["old_lo"], new_lo)
+            hi = min(epoch["old_hi"], new_hi)
+            if lo >= hi:
+                continue
+            entries = []
+            for oid in sorted(self.state.ids()):
+                if self.state.version(oid) <= 1:
+                    continue  # still the seeded initial value everywhere
+                obj = self.state.get(oid)
+                if "x" not in obj:
+                    continue
+                x = float(obj["x"])
+                if not lo <= x < hi:
+                    continue
+                gsn, local = self._sync_stamps.get(oid, (-1, 0))
+                entries.append(
+                    (oid, gsn, local, tuple(sorted(obj.as_dict().items())))
+                )
+            if not entries:
+                continue
+            sync = RegionSync(epoch["version"], lo, hi, tuple(entries))
+            self.shard_stats.syncs_sent += 1
+            self._send_elastic(shard, sync)
+
+    def _on_region_sync(self, sync: RegionSync) -> None:
+        """Gaining side: adopt strictly-newer values.  A span this
+        shard committed after the loser stamped the sync loses the
+        stamp comparison, so a racing sync never regresses the store."""
+        self.shard_stats.syncs_received += 1
+        updates = {}
+        for oid, gsn, local, attrs in sync.entries:
+            if (gsn, local) <= self._sync_stamps.get(oid, (-1, 0)):
+                continue
+            self._sync_stamps[oid] = (gsn, local)
+            updates[oid] = dict(attrs)
+        if updates:
+            self.state.merge(updates, commit_index=-1)
+            if self._client_index is not None:
+                self._refresh_indexed_positions(updates)
+
+    def _maybe_drain_done(self) -> None:
+        """An epoch is drained here once its fence passed (syncs sent)
+        and every bulk-handoff transfer left; tell the controller."""
+        for epoch in list(self._epochs):
+            if epoch["synced"] and not epoch["drained"] and not epoch["bulk"]:
+                epoch["drained"] = True
+                done = DrainDone(self.shard_index, epoch["version"])
+                if self.is_sequencer:
+                    self._on_drain_done(done)
+                else:
+                    self._send_elastic(0, done)
+
+    def _on_drain_done(self, done: DrainDone) -> None:
+        """Controller: after all K shards drained, commit the version
+        so every shard retires the superseded boundaries."""
+        if done.version != self._pending_version:
+            return
+        self._drain_done.add(done.shard)
+        if len(self._drain_done) < self.partition.shards:
+            return
+        version = self._pending_version
+        self._pending_version = None
+        self._drain_done = set()
+        self.shard_stats.rebalances += 1
+        commit = PartitionCommit(version)
+        for shard in range(self.partition.shards):
+            if shard != self.shard_index:
+                self._send_elastic(shard, commit)
+        self._on_partition_commit(commit)
+
+    def _on_partition_commit(self, commit: PartitionCommit) -> None:
+        self._epochs = [
+            epoch for epoch in self._epochs if epoch["version"] != commit.version
+        ]
+        self._rebuild_legacy_boundaries()
 
     def __repr__(self) -> str:
         return (
@@ -693,7 +1150,15 @@ class ShardedSeveEngine(SeveEngine):
                 "crash/liveness fault plans are not supported with "
                 "shards > 1 (see ROADMAP: sharded crash recovery)"
             )
-        self.partition = RegionPartition(self.sharding.world_width, shards)
+        elastic = self.sharding.elastic if shards > 1 else None
+        if elastic is not None:
+            # Every shard keeps its own mutable partition copy; copies
+            # flip independently as the PartitionUpdate reaches each
+            # shard (docs/elasticity.md).  The engine's copy tracks the
+            # controller's (shard 0 shares the engine partition).
+            self.partition = ElasticPartition(self.sharding.world_width, shards)
+        else:
+            self.partition = RegionPartition(self.sharding.world_width, shards)
         self.predicate = FirstBoundPredicate(
             max_speed=self.world.max_speed,
             rtt_ms=config.rtt_ms,
@@ -739,13 +1204,17 @@ class ShardedSeveEngine(SeveEngine):
                 if config.mode == "seve"
                 else None
             )
+            if elastic is None or shard == 0:
+                partition = self.partition
+            else:
+                partition = ElasticPartition(self.sharding.world_width, shards)
             server = ShardServer(
                 self.sim,
                 self.network,
                 host,
                 state,
                 shard_index=shard,
-                partition=self.partition,
+                partition=partition,
                 span_slack=span_slack,
                 handoff_margin=self.sharding.handoff_margin,
                 predicate=self.predicate,
@@ -759,6 +1228,7 @@ class ShardedSeveEngine(SeveEngine):
                 server_id=host_id,
                 obs=self.obs,
                 detector=self.detector,
+                elastic=elastic,
             )
             self.shard_servers.append(server)
             self.shard_states.append(state)
@@ -850,7 +1320,32 @@ class ShardedSeveEngine(SeveEngine):
             return False
         if any(server._handoffs for server in self.shard_servers):
             return False
+        if self.sharding.elastic is not None and self.sharding.shards > 1:
+            # A rebalance is quiescent only once every epoch retired
+            # and every control message (reports, updates, syncs,
+            # drain/commit) has been consumed: global conservation of
+            # the send/receive counters.
+            if any(server._epochs for server in self.shard_servers):
+                return False
+            if self.shard_servers[0]._pending_version is not None:
+                return False
+            sent = sum(server.elastic_sent for server in self.shard_servers)
+            received = sum(server.elastic_received for server in self.shard_servers)
+            if sent != received:
+                return False
         return all(server.uncommitted_count == 0 for server in self.shard_servers)
+
+    @property
+    def rebalance_events(self) -> tuple:
+        """Controller-side log of committed partition changes."""
+        return tuple(self.shard_servers[0].rebalance_log)
+
+    def stripe_bounds(self) -> tuple:
+        """Each shard's own view of its stripe ``(lo, hi)``."""
+        return tuple(
+            server.partition.bounds(server.shard_index)
+            for server in self.shard_servers
+        )
 
     def live_client_ids(self) -> list[ClientId]:
         return [

@@ -168,6 +168,7 @@ def build_engine(
                 sharding=ShardingConfig(
                     shards=settings.shards,
                     world_width=settings.world_width,
+                    elastic=settings.elastic_config(),
                 ),
             )
         return SeveEngine(world, settings.num_clients, config)

@@ -92,6 +92,24 @@ class SimulationSettings:
     #: K > 1 requires a push mode (``seve`` / ``seve-naive``) and no
     #: crash plan.
     shards: int = 1
+    #: Live load-aware rebalancing of the shard stripes (``--elastic``;
+    #: docs/elasticity.md): shard 0 collects per-shard load deltas and
+    #: splits hot stripes / merges cold ones at run time.  Requires
+    #: ``shards > 1``.  Off takes the identical static-partition code
+    #: path (byte-identical; the differential tests pin this down).
+    elastic: bool = False
+    #: Load-sampling period of the elastic controller (``--elastic-interval-ms``).
+    elastic_interval_ms: float = 2000.0
+    #: max/mean load ratio that counts a round as imbalanced
+    #: (``--elastic-threshold``).
+    elastic_threshold: float = 2.0
+    #: Consecutive imbalanced rounds before a rebalance fires
+    #: (``--elastic-hysteresis``).
+    elastic_hysteresis: int = 2
+    #: Narrowest stripe a rebalance may produce
+    #: (``--elastic-min-stripe``); ``None`` derives it from the
+    #: span-classification slack.
+    elastic_min_stripe: Optional[float] = None
     #: Dynamic RW-set sanitizer mode (``--rwset-sanitizer``; see
     #: docs/static_analysis.md): "raise" aborts on the first undeclared
     #: store access during an apply, "report" collects violations into
@@ -171,6 +189,13 @@ class SimulationSettings:
             raise ConfigurationError("move_interval_ms must be positive")
         if self.shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {self.shards}")
+        if self.elastic and self.shards < 2:
+            raise ConfigurationError(
+                "elastic rebalancing needs shards > 1 (one stripe has "
+                "nothing to split)"
+            )
+        if self.elastic:
+            self.elastic_config()  # validate the knobs eagerly
         if self.rwset_sanitizer not in (None, "off", "report", "raise"):
             raise ConfigurationError(
                 f"unknown rwset_sanitizer {self.rwset_sanitizer!r}; "
@@ -214,6 +239,20 @@ class SimulationSettings:
     def workload_duration_ms(self) -> float:
         """Virtual time over which clients generate moves."""
         return self.moves_per_client * self.move_interval_ms
+
+    def elastic_config(self):
+        """The :class:`~repro.core.elastic.ElasticConfig` for this run,
+        or ``None`` when rebalancing is off."""
+        if not self.elastic:
+            return None
+        from repro.core.elastic import ElasticConfig
+
+        return ElasticConfig(
+            interval_ms=self.elastic_interval_ms,
+            threshold=self.elastic_threshold,
+            hysteresis=self.elastic_hysteresis,
+            min_stripe=self.elastic_min_stripe,
+        )
 
     def manhattan_config(self) -> ManhattanConfig:
         """The world configuration this experiment runs on."""

@@ -92,6 +92,10 @@ class RunResult:
     #: the shard host's simulated CPU time.  ``None`` for single-server
     #: architectures.
     shard_rows: Optional[list] = None
+    # -- elastic rebalancing (docs/elasticity.md); empty without --elastic --
+    #: One dict per committed partition change, from the controller's
+    #: log: {version, at_ms, imbalance, boundaries}.
+    rebalance_events: tuple = ()
     # -- adversaries (docs/adversary.md); all empty without a plan --
     #: One :class:`repro.core.detection.DetectionRecord` per (detector,
     #: client) pair the server-side cheat detection flagged.
@@ -106,6 +110,11 @@ class RunResult:
     #: before detection caught up (0 for cheats rejected at admission);
     #: ``None`` when no adversary plan was armed.
     blast_radius: Optional[Dict[int, int]] = None
+
+    @property
+    def rebalances(self) -> int:
+        """Partition changes the elastic controller committed."""
+        return len(self.rebalance_events)
 
     @property
     def cheats_detected(self) -> int:
@@ -292,6 +301,7 @@ def run_simulation(
                     shard_server.shard_index
                 ].cpu_time_used,
                 "push_cycles": shard_server.stats.push_cycles,
+                "stripe": _shard_stripe(shard_server),
             }
             for shard_server in sharded
         ]
@@ -363,8 +373,21 @@ def run_simulation(
         profile=profile,
         shard_audit=shard_audit,
         shard_rows=shard_rows,
+        rebalance_events=tuple(getattr(engine, "rebalance_events", ()) or ()),
         **_detection_summary(engine),
     )
+
+
+def _shard_stripe(shard_server) -> Optional[tuple]:
+    """The ``(lo, hi)`` stripe a shard owns at the end of the run, for
+    any engine shape (``None`` when the shard doesn't expose one)."""
+    stripe = getattr(shard_server, "stripe", None)
+    if stripe is not None:
+        return tuple(stripe)
+    partition = getattr(shard_server, "partition", None)
+    if partition is None:
+        return None
+    return partition.bounds(shard_server.shard_index)
 
 
 def _detection_summary(engine) -> Dict[str, object]:

@@ -123,6 +123,33 @@ def adversary_rows(result) -> List[List[Cell]]:
     return rows
 
 
+def elastic_rows(result) -> List[List[Cell]]:
+    """Elastic-rebalancer rows for a :class:`RunResult`.
+
+    Returned as ``(metric, value)`` pairs ready for ``Table.add_row`` —
+    the CLI appends them to its report when ``--elastic`` was on.  One
+    row per committed rebalance shows when it fired, the imbalance that
+    triggered it, and the interior cuts it installed.
+
+    >>> from types import SimpleNamespace
+    >>> elastic_rows(SimpleNamespace(rebalance_events=(
+    ...     {"version": 1, "at_ms": 4001.0, "imbalance": 2.37,
+    ...      "boundaries": (1355.02, 1774.0, 2315.36)},
+    ... )))
+    [['rebalances', 1], ['rebalance[v1]', '@4001ms x2.37 -> 1355.0|1774.0|2315.4']]
+    >>> elastic_rows(SimpleNamespace(rebalance_events=()))
+    [['rebalances', 0]]
+    """
+    rows: List[List[Cell]] = [["rebalances", len(result.rebalance_events)]]
+    for event in result.rebalance_events:
+        cuts = "|".join(str(round(cut, 1)) for cut in event["boundaries"])
+        rows.append([
+            f"rebalance[v{event['version']}]",
+            f"@{event['at_ms']:g}ms x{event['imbalance']:.2f} -> {cuts}",
+        ])
+    return rows
+
+
 def profile_rows(profile: dict) -> List[List[Cell]]:
     """Per-phase breakdown rows from a :attr:`RunResult.profile` dict.
 
@@ -177,16 +204,19 @@ def profile_table(profile: dict, title: str = "Per-phase breakdown") -> Table:
 def shard_table(result, title: str = "Per-shard breakdown") -> Table:
     """Sharded-run summary (:attr:`RunResult.shard_rows`) as a table.
 
-    One row per shard server: attached clients at quiescence, actions
-    serialized/committed by its local queue, cross-shard forward/splice
-    and handoff counters, push cycles, and the shard host's simulated
-    CPU time — the numbers behind the sharded scaling claim (the
-    per-shard serialized count drops as K grows).
+    One row per shard server: the stripe it owns at quiescence (static
+    runs show the equal cuts; ``--elastic`` runs show where the
+    rebalancer left them), attached clients, actions serialized and
+    committed by its local queue, cross-shard forward/splice and
+    handoff counters, push cycles, and the shard host's simulated CPU
+    time — the numbers behind the sharded scaling claim (the per-shard
+    serialized count drops as K grows).
     """
     table = Table(
         title,
         [
             "shard",
+            "stripe",
             "clients",
             "serialized",
             "committed",
@@ -200,8 +230,10 @@ def shard_table(result, title: str = "Per-shard breakdown") -> Table:
         "involved shard's stream",
     )
     for row in result.shard_rows or ():
+        stripe = row.get("stripe")
         table.add_row(
             row["shard"],
+            f"[{stripe[0]:g}, {stripe[1]:g})" if stripe else "-",
             row["clients"],
             row["serialized"],
             row["committed"],

@@ -122,6 +122,12 @@ class BarrierReport:
     quiescent: bool
     #: The replica clock (== the window end; sanity-checked upstream).
     now: TimeMs
+    #: Elastic control messages sent/received by owned shards so far
+    #: (docs/elasticity.md).  The coordinator may only declare the run
+    #: quiescent when the global sums match — a rebalance in flight
+    #: between partitions is invisible to each one's local predicate.
+    elastic_sent: int = 0
+    elastic_received: int = 0
 
 
 @dataclass
@@ -146,6 +152,10 @@ class ShardSnapshot:
     span_gsns: Dict
     state: object
     cpu_ms: float
+    #: Controller-side rebalance log (shard 0 only; empty otherwise).
+    rebalance_log: tuple = ()
+    #: The ``(lo, hi)`` stripe this shard owns at the end of the run.
+    stripe: tuple = ()
 
 
 @dataclass
@@ -339,11 +349,20 @@ class PartitionReplica:
     def report(self) -> BarrierReport:
         bundles = self._outgoing
         self._outgoing = []
+        servers = [
+            self.engine.shard_servers[shard] for shard in self.owned_shards
+        ]
         return BarrierReport(
             bundles=bundles,
             next_event=self.engine.sim.next_event_time(),
             quiescent=self._quiescent(),
             now=self.engine.sim.now,
+            elastic_sent=sum(
+                getattr(server, "elastic_sent", 0) for server in servers
+            ),
+            elastic_received=sum(
+                getattr(server, "elastic_received", 0) for server in servers
+            ),
         )
 
     def run_window(self, end: TimeMs, entries: List[Entry]) -> BarrierReport:
@@ -365,6 +384,11 @@ class PartitionReplica:
             server = engine.shard_servers[shard]
             if server._handoffs or server.uncommitted_count:
                 return False
+            if getattr(server, "elastic", None) is not None:
+                # A rebalance epoch still open on an owned shard, or a
+                # partition version awaiting drain on the controller.
+                if server._epochs or server._pending_version is not None:
+                    return False
         return True
 
     def finish(self, t_stop: TimeMs, deadline: TimeMs) -> PartitionSnapshot:
@@ -405,6 +429,8 @@ class PartitionReplica:
                     span_gsns=dict(server.span_gsns),
                     state=engine.shard_states[shard],
                     cpu_ms=engine.server_hosts[shard].cpu_time_used,
+                    rebalance_log=tuple(getattr(server, "rebalance_log", ())),
+                    stripe=tuple(server.partition.bounds(shard)),
                 )
             )
         recorder = engine.rwset_recorder
@@ -585,8 +611,18 @@ def _drive(handles, settings) -> List[PartitionSnapshot]:
     now: TimeMs = 0.0
     while True:
         bundles = [entry for report in reports for entry in report.bundles]
-        if now >= horizon and all(report.quiescent for report in reports):
-            break  # quiescent stop: in-flight bundles are dead (see module doc)
+        if (
+            now >= horizon
+            and all(report.quiescent for report in reports)
+            and sum(report.elastic_sent for report in reports)
+            == sum(report.elastic_received for report in reports)
+        ):
+            # Quiescent stop: in-flight bundles are dead (see module
+            # doc).  The elastic-counter conservation term keeps the
+            # stop aligned with the classic drive — a partition update
+            # or region sync between partitions is invisible to every
+            # local predicate while it rides a bundle.
+            break
         if now >= deadline:
             break  # drain budget exhausted — classic timeout analog
         candidates = [entry[0] for entry in bundles]
@@ -682,9 +718,12 @@ class MergedRun:
                 shard_stats=shard.shard_stats,
                 costs=shard.costs,
                 span_gsns=shard.span_gsns,
+                stripe=shard.stripe,
             )
             for shard in shard_snapshots
         ]
+        #: Controller-side rebalance log (shard 0's snapshot carries it).
+        self.rebalance_events = tuple(shard_snapshots[0].rebalance_log)
         self.server = self.shard_servers[0]
         self.server_hosts = {
             shard.shard_index: SimpleNamespace(cpu_time_used=shard.cpu_ms)
