@@ -78,6 +78,17 @@ elastic_smoke() {
     --seed 7 >/dev/null
 }
 
+# Crash-at-K smoke (docs/control_plane.md): a K=4 run through the real
+# CLI on the multiprocessing backend with the replicated sequencer and
+# a mid-run shard crash + restart — failover machinery, checkpoint+WAL
+# recovery, the casualty rule, and the honest-survivor audits all
+# inside the exit code.
+controlplane_smoke() {
+  python -m repro run seve --clients 12 --walls 60 --moves 8 --shards 4 \
+    --backend parallel --control-plane replicated \
+    --crash-plan 's2@1500:3500' --rtt-ms 150 --seed 13 >/dev/null
+}
+
 case "${1:-}" in
   --fast)
     lint_and_doctests
@@ -85,6 +96,7 @@ case "${1:-}" in
     parallel_smoke
     adversary_smoke
     elastic_smoke
+    controlplane_smoke
     ;;
   --faults)
     python -m pytest -x -q -m faults
@@ -96,6 +108,7 @@ case "${1:-}" in
     parallel_smoke
     adversary_smoke
     elastic_smoke
+    controlplane_smoke
     # Full parallel-vs-inproc differential (clean + lossy, K ∈ {1,2,4})
     python -m pytest -x -q tests/test_parallel_backend.py
     python -m pytest -x -q -m "slow and not faults"

@@ -25,6 +25,7 @@ from repro.harness.runner import run_simulation
 from repro.metrics.report import (
     Table,
     adversary_rows,
+    control_plane_rows,
     elastic_rows,
     fault_rows,
     profile_table,
@@ -82,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="partition count for the windowed scheduler (0 = auto: "
         "1 for inproc, one per shard for parallel; clamped to --shards)",
+    )
+    run.add_argument(
+        "--control-plane", choices=("single", "replicated"),
+        default="single",
+        help="spanning-action sequencer deployment (docs/control_plane.md): "
+        "'single' pins the role to shard 0 (byte-identical to the "
+        "pre-lease sequencer, but a crash of shard 0 is fatal); "
+        "'replicated' grants it through a leased quorum that fails "
+        "over when the holder's heartbeats stop",
     )
     run.add_argument(
         "--no-consistency-check", action="store_true",
@@ -142,8 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument(
         "--crash-plan", type=str, default=None, metavar="SPEC",
-        help="crash windows, e.g. '0@800:2500,3@1200' "
-        "(client@crash_ms[:reconnect_ms], comma-separated)",
+        help="crash windows, e.g. '0@800:2500,3@1200,s1@2000:6000' "
+        "(TARGET@crash_ms[:reconnect_ms], comma-separated; TARGET is a "
+        "client id, or sN for shard host N — shard windows need "
+        "--shards >= 2, and killing shard 0 for good needs "
+        "--control-plane replicated)",
     )
     adversary = run.add_argument_group("adversaries (docs/adversary.md)")
     adversary.add_argument(
@@ -227,6 +240,7 @@ def _command_run(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         seed=args.seed,
         shards=args.shards,
+        control_plane=args.control_plane,
         elastic=args.elastic,
         elastic_interval_ms=args.elastic_interval_ms,
         elastic_threshold=args.elastic_threshold,
@@ -273,6 +287,9 @@ def _command_run(args: argparse.Namespace) -> int:
             table.add_row(metric, value)
     if settings.elastic:
         for metric, value in elastic_rows(result):
+            table.add_row(metric, value)
+    if settings.control_plane == "replicated":
+        for metric, value in control_plane_rows(result):
             table.add_row(metric, value)
     table.add_row("virtual time (s)", result.virtual_ms / 1000.0)
     table.add_row("wall time (s)", result.wall_seconds)

@@ -30,6 +30,7 @@ from repro.core.action import ABORT_RESULT, Action, ActionId, ActionResult, Blin
 from repro.core.messages import (
     AbortNotice,
     ActionBatch,
+    ClientHello,
     Completion,
     GroupBundle,
     HandoffPrepare,
@@ -177,6 +178,15 @@ class ProtocolClient:
         # -- sharded handoff state (dormant in single-server runs) ------
         self._migrating = False
         self._migration_buffer: list[Action] = []
+        #: Shard a migration is moving us toward (from HandoffPrepare),
+        #: so the harness can tell we die with a crashing target shard.
+        self._migration_target: Optional[int] = None
+        #: Post-crash rejoin (docs/control_plane.md): the server we are
+        #: hello-ing at, and the retry timer re-sending the hello until
+        #: a HandoffWelcome answers it.
+        self._rejoin_target: Optional[ClientId] = None
+        self._hello_timer: Optional[Event] = None
+        self._hello_radius: float = 0.0
         #: Per-shard stream dedup state parked across handoffs, so a
         #: return to a previously visited shard keeps its positions.
         self._stream_state: Dict[ClientId, tuple] = {}
@@ -517,12 +527,20 @@ class ProtocolClient:
         if src != self.server_id:
             return  # stale prepare from a previous owner
         self._migrating = True
+        self._migration_target = prepare.new_shard
         message = HandoffReady(self.client_id)
         self.network.send(self.client_id, self.server_id, message, wire_size(message))
 
     def _complete_migration(self, src: ClientId, welcome: HandoffWelcome) -> None:
         """The new shard adopted us: switch streams, drop pending
         entries the old shard resolved, flush parked submissions."""
+        if self._rejoin_target is not None:
+            # A post-crash hello was answered (by the target, or by a
+            # regular handoff that raced it); stop re-sending hellos.
+            self._rejoin_target = None
+            if self._hello_timer is not None:
+                self._hello_timer.cancel()
+                self._hello_timer = None
         if self.observations is not None:
             self.observations.append(("epoch", src))
         if src != self.server_id:
@@ -548,6 +566,7 @@ class ProtocolClient:
             # (its stream is stale now): undo the optimistic guesses.
             self._reconcile(extra_writes=extra)
         self._migrating = False
+        self._migration_target = None
         for action in self._migration_buffer:
             if action.action_id not in self._submit_times:
                 continue  # resolved while parked
@@ -559,6 +578,44 @@ class ProtocolClient:
             if self.config.retry is not None:
                 self._arm_retry(wire, 0)
         self._migration_buffer.clear()
+
+    # ------------------------------------------------------------------
+    # Post-crash rejoin (sharded deployments; docs/control_plane.md)
+    # ------------------------------------------------------------------
+    #: Hello re-send period while a rejoin is unanswered.
+    HELLO_RETRY_MS: TimeMs = 1_000.0
+
+    def rejoin(self, target: ClientId, radius: float) -> None:
+        """Re-attach after a crash via the protocol: hello the target
+        shard and park submissions until its welcome arrives.
+
+        The classic single-server reconnect re-attaches through the
+        harness oracle (:meth:`SeveEngine.mark_alive`); at K > 1 the
+        right shard is a protocol question — the avatar may have moved,
+        the old shard may itself be down — so the rejoiner asks and
+        retries until some shard welcomes it.
+        """
+        self._migrating = True
+        self._migration_target = None
+        self._rejoin_target = target
+        self._hello_radius = radius
+        self._send_hello()
+
+    def _send_hello(self) -> None:
+        if self._rejoin_target is None:
+            return
+        if not self.network.is_registered(self.client_id):
+            self._rejoin_target = None  # crashed again mid-rejoin
+            return
+        hello = ClientHello(
+            self.client_id, self._hello_radius, self.config.interests
+        )
+        self.network.send(
+            self.client_id, self._rejoin_target, hello, wire_size(hello)
+        )
+        self._hello_timer = self.sim.schedule(
+            self.HELLO_RETRY_MS, self._send_hello
+        )
 
     # ------------------------------------------------------------------
     # Reliability: resubmission and heartbeats (Section III-C)

@@ -66,6 +66,10 @@ class QueueEntry:
     #: Until it arrives, non-originators cannot be sent this entry —
     #: they receive its *values*, not its code.
     span_result: Optional[ActionResult] = None
+    #: Owning shard's index (set on spliced peers), so survivors can
+    #: abort span entries orphaned by the owner shard crashing before
+    #: it relayed a result (docs/control_plane.md).
+    span_owner_shard: int = -1
 
     @property
     def committed_ready(self) -> bool:

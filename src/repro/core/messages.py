@@ -300,6 +300,71 @@ class RegionSync:
     entries: Tuple[tuple, ...] = ()
 
 
+# ----------------------------------------------------------------------
+# Control-plane messages (docs/control_plane.md).  Backbone-only, like
+# the elastic messages above; the codec ships them via its pickle
+# fallback (they never cross a client link).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LeaseHeartbeat:
+    """Leaseholder -> every shard: I still hold the gsn lease for
+    ``term``.  Silence past the lease timeout triggers an election."""
+
+    term: int
+    holder: int
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """Candidate -> every shard: vote for me as holder of ``term``."""
+
+    term: int
+    candidate: int
+
+
+@dataclass(frozen=True)
+class LeaseVote:
+    """Voter -> candidate: one vote for ``term``, carrying the highest
+    gsn this voter has observed so the winner's floor clears it."""
+
+    term: int
+    voter: int
+    max_gsn: int
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """New holder -> every shard: the round for ``term`` completed;
+    ``holder`` sequences from ``gsn_floor`` up.  Receivers re-forward
+    any spanning actions the dead holder never spliced."""
+
+    term: int
+    holder: int
+    gsn_floor: int
+
+
+@dataclass(frozen=True)
+class ShardHello:
+    """Restarted shard -> every shard: I am back (recovered from
+    checkpoint+WAL).  Receivers clear me from their dead set; the
+    leaseholder re-sends the current lease and partition version."""
+
+    shard: int
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """Reconnecting client -> its shard: re-attach me (the protocol
+    rejoin path for K > 1, where the classic oracle re-attach would
+    target shard 0 regardless of where the avatar lives).  Answered
+    with a :class:`HandoffWelcome`; the client retries until one
+    arrives, so a hello racing a handoff or a second crash is safe."""
+
+    client_id: ClientId
+    radius: float
+    interests: Optional[frozenset] = None
+
+
 def wire_size(message: object) -> int:
     """Simulated size in bytes of a protocol message.
 
@@ -367,6 +432,18 @@ def wire_size(message: object) -> int:
         return 32 + sum(
             16 + 12 * len(attrs) for _, _, _, attrs in message.entries
         )
+    if isinstance(message, LeaseHeartbeat):
+        return 12
+    if isinstance(message, LeaseRequest):
+        return 12
+    if isinstance(message, LeaseVote):
+        return 16
+    if isinstance(message, LeaseGrant):
+        return 16
+    if isinstance(message, ShardHello):
+        return 8
+    if isinstance(message, ClientHello):
+        return 16 + (4 * len(message.interests) if message.interests else 0)
     raise TypeError(f"not a protocol message: {type(message).__name__}")
 
 

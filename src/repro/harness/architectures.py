@@ -169,6 +169,7 @@ def build_engine(
                     shards=settings.shards,
                     world_width=settings.world_width,
                     elastic=settings.elastic_config(),
+                    control=settings.control_plane_config(),
                 ),
             )
         return SeveEngine(world, settings.num_clients, config)

@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.adversary import AdversaryPlan
 from repro.errors import ConfigurationError
-from repro.net.faults import FaultPlan
+from repro.net.faults import FaultPlan, validate_crash_windows
 from repro.world.manhattan import ManhattanConfig
 
 #: The paper's measured average evaluation time per move at 100k walls.
@@ -89,9 +89,18 @@ class SimulationSettings:
     fault_tolerant: bool = False
     #: Shard servers partitioning the world into vertical stripes
     #: (:mod:`repro.core.sharded`).  1 = the classic single serializer;
-    #: K > 1 requires a push mode (``seve`` / ``seve-naive``) and no
-    #: crash plan.
+    #: K > 1 requires a push mode (``seve`` / ``seve-naive``).  Crash
+    #: and liveness fault plans are supported at every K
+    #: (docs/control_plane.md): clients rejoin via the protocol-level
+    #: hello path, and shard hosts recover from checkpoint+WAL.
     shards: int = 1
+    #: Spanning-action control plane (docs/control_plane.md): "single"
+    #: keeps the classic shard-0 sequencer (byte-identical to the
+    #: pre-lease code path), "replicated" arms per-border gsn leases
+    #: with heartbeat-driven quorum failover so sequencing survives the
+    #: leaseholder's crash.  Shard crash plans that kill shard 0
+    #: without a restart require "replicated".
+    control_plane: str = "single"
     #: Live load-aware rebalancing of the shard stripes (``--elastic``;
     #: docs/elasticity.md): shard 0 collects per-shard load deltas and
     #: splits hot stripes / merges cold ones at run time.  Requires
@@ -196,6 +205,34 @@ class SimulationSettings:
             )
         if self.elastic:
             self.elastic_config()  # validate the knobs eagerly
+        if self.control_plane not in ("single", "replicated"):
+            raise ConfigurationError(
+                f"unknown control_plane {self.control_plane!r}; "
+                "expected 'single' or 'replicated'"
+            )
+        if self.fault_plan is not None and self.fault_plan.crashes:
+            validate_crash_windows(self.fault_plan.crashes)
+            if self.fault_plan.shard_crashes and self.shards < 2:
+                raise ConfigurationError(
+                    "shard crash windows require shards >= 2 (a one-shard "
+                    "run has no survivor to keep serializing)"
+                )
+            for window in self.fault_plan.shard_crashes:
+                if window.shard_index >= self.shards:
+                    raise ConfigurationError(
+                        f"crash plan targets shard {window.shard_index} "
+                        f"but the run has only {self.shards} shard(s)"
+                    )
+                if (
+                    window.shard_index == 0
+                    and window.reconnect_at_ms is None
+                    and self.control_plane == "single"
+                ):
+                    raise ConfigurationError(
+                        "killing shard 0 permanently under the 'single' "
+                        "control plane loses the sequencer forever; use "
+                        "--control-plane replicated or schedule a restart"
+                    )
         if self.rwset_sanitizer not in (None, "off", "report", "raise"):
             raise ConfigurationError(
                 f"unknown rwset_sanitizer {self.rwset_sanitizer!r}; "
@@ -253,6 +290,15 @@ class SimulationSettings:
             hysteresis=self.elastic_hysteresis,
             min_stripe=self.elastic_min_stripe,
         )
+
+    def control_plane_config(self):
+        """The :class:`~repro.core.control_plane.ControlPlaneConfig`
+        for this run, or ``None`` for the classic shard-0 sequencer."""
+        if self.control_plane != "replicated":
+            return None
+        from repro.core.control_plane import ControlPlaneConfig
+
+        return ControlPlaneConfig()
 
     def manhattan_config(self) -> ManhattanConfig:
         """The world configuration this experiment runs on."""

@@ -96,6 +96,13 @@ class RunResult:
     #: One dict per committed partition change, from the controller's
     #: log: {version, at_ms, imbalance, boundaries}.
     rebalance_events: tuple = ()
+    # -- replicated control plane (docs/control_plane.md) --
+    #: Which sequencer the run used: "single" or "replicated".
+    control_plane: str = "single"
+    #: One dict per completed gsn-lease transfer:
+    #: {term, holder, at_ms, latency_ms}.  Empty unless the replicated
+    #: control plane actually failed over.
+    failover_events: tuple = ()
     # -- adversaries (docs/adversary.md); all empty without a plan --
     #: One :class:`repro.core.detection.DetectionRecord` per (detector,
     #: client) pair the server-side cheat detection flagged.
@@ -115,6 +122,11 @@ class RunResult:
     def rebalances(self) -> int:
         """Partition changes the elastic controller committed."""
         return len(self.rebalance_events)
+
+    @property
+    def failovers(self) -> int:
+        """Completed gsn-lease transfers (replicated control plane)."""
+        return len(self.failover_events)
 
     @property
     def cheats_detected(self) -> int:
@@ -374,6 +386,11 @@ def run_simulation(
         shard_audit=shard_audit,
         shard_rows=shard_rows,
         rebalance_events=tuple(getattr(engine, "rebalance_events", ()) or ()),
+        control_plane=settings.control_plane,
+        failover_events=tuple(
+            event.to_dict()
+            for event in getattr(engine, "failover_events", ()) or ()
+        ),
         **_detection_summary(engine),
     )
 
@@ -421,6 +438,20 @@ def _detection_summary(engine) -> Dict[str, object]:
 def _schedule_crashes(engine, workload: MoveWorkload, plan) -> None:
     """Install the plan's crash/reconnect windows on the virtual clock."""
     for window in plan.crashes:
+        if window.is_shard:
+
+            def kill_shard(shard=window.shard_index) -> None:
+                for cid in engine.crash_shard(shard):
+                    workload.stop_client(cid)
+
+            engine.sim.schedule_at(window.at_ms, kill_shard)
+            if window.reconnect_at_ms is not None:
+
+                def revive_shard(shard=window.shard_index) -> None:
+                    engine.restart_shard(shard)
+
+                engine.sim.schedule_at(window.reconnect_at_ms, revive_shard)
+            continue
 
         def kill(cid=window.client_id) -> None:
             workload.stop_client(cid)

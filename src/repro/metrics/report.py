@@ -150,6 +150,34 @@ def elastic_rows(result) -> List[List[Cell]]:
     return rows
 
 
+def control_plane_rows(result) -> List[List[Cell]]:
+    """Replicated-control-plane rows for a :class:`RunResult`.
+
+    Returned as ``(metric, value)`` pairs ready for ``Table.add_row`` —
+    the CLI appends them when ``--control-plane replicated`` was on.
+    One row per completed failover shows the new sequencer, when its
+    lease was granted, and the campaign latency (suspicion to grant).
+
+    >>> from types import SimpleNamespace
+    >>> control_plane_rows(SimpleNamespace(failover_events=(
+    ...     {"term": 1, "holder": 2, "at_ms": 2002.0, "latency_ms": 2.0},
+    ... )))
+    [['sequencer failovers', 1], ['failover[t1]', 'shard 2 @2002ms (campaign 2ms)']]
+    >>> control_plane_rows(SimpleNamespace(failover_events=()))
+    [['sequencer failovers', 0]]
+    """
+    rows: List[List[Cell]] = [
+        ["sequencer failovers", len(result.failover_events)]
+    ]
+    for event in result.failover_events:
+        rows.append([
+            f"failover[t{event['term']}]",
+            f"shard {event['holder']} @{event['at_ms']:g}ms "
+            f"(campaign {event['latency_ms']:g}ms)",
+        ])
+    return rows
+
+
 def profile_rows(profile: dict) -> List[List[Cell]]:
     """Per-phase breakdown rows from a :attr:`RunResult.profile` dict.
 
@@ -226,7 +254,8 @@ def shard_table(result, title: str = "Per-shard breakdown") -> Table:
             "push cycles",
             "cpu ms",
         ],
-        note="spans are sequenced once (shard 0) and spliced into every "
+        note="spans are sequenced once (by the lease-holding sequencer; "
+        "shard 0 unless a failover moved it) and spliced into every "
         "involved shard's stream",
     )
     for row in result.shard_rows or ():

@@ -42,6 +42,15 @@ construction property, not a hope: same replica build, same window
 ends, same injection order, same merge pipeline.  The differential
 tests in ``tests/test_parallel_backend.py`` pin it.
 
+Fault plans — including shard crash/restart windows and client
+crash/reconnect windows (docs/control_plane.md) — fire on every
+replica at the same virtual instants.  Each replica applies the
+effects its slice owns (real crash/recovery for owned servers, the
+client-local casualty rule for owned clients) and merely parks/revives
+foreign hosts so incarnation counters stay in lockstep; failover,
+span-obligation takeover, and eviction of foreign casualties all
+travel as ordinary protocol messages through the barrier transport.
+
 Quiescence and drain mirror the classic runner: once the barrier clock
 passes the workload horizon and every partition reports no pending
 client actions, no migrations, no handoffs, and no uncommitted server
@@ -66,11 +75,18 @@ from repro.core.messages import MessageCodec
 from repro.errors import ConfigurationError, SimulationError
 from repro.types import ClientId, TimeMs, shard_host_id
 
-#: One cross-partition message in flight:
-#: ``(arrival, src_partition, send_seq, src, dst, frame, size, dropped)``.
-#: ``frame`` is the codec-encoded payload (``None`` for fault-dropped
-#: messages, which still arrive as meter debits).
-Entry = Tuple[TimeMs, int, int, ClientId, ClientId, Optional[bytes], int, bool]
+#: One cross-partition message in flight: ``(arrival, src_partition,
+#: send_seq, src, dst, frame, size, dropped, incarnation)``.  ``frame``
+#: is the codec-encoded payload (``None`` for fault-dropped messages,
+#: which still arrive as meter debits).  ``incarnation`` is the
+#: destination host's incarnation as the *sender* observed it at send
+#: time — crash windows are applied on every replica at the same
+#: virtual instants, so the counters agree, and a message aimed at a
+#: dead incarnation dies at the owner's dispatch exactly as a local
+#: send would.
+Entry = Tuple[
+    TimeMs, int, int, ClientId, ClientId, Optional[bytes], int, bool, int
+]
 
 
 def spawn_context():
@@ -152,10 +168,14 @@ class ShardSnapshot:
     span_gsns: Dict
     state: object
     cpu_ms: float
-    #: Controller-side rebalance log (shard 0 only; empty otherwise).
+    #: Controller-side rebalance log (the sequencer's; empty otherwise).
     rebalance_log: tuple = ()
     #: The ``(lo, hi)`` stripe this shard owns at the end of the run.
     stripe: tuple = ()
+    #: Completed lease transfers this shard won (docs/control_plane.md).
+    failover_log: tuple = ()
+    #: Whether the shard's host was crashed (and not restarted).
+    crashed: bool = False
 
 
 @dataclass
@@ -175,6 +195,10 @@ class PartitionSnapshot:
     shards: List[ShardSnapshot]
     rwset_violations: Tuple[str, ...]
     observer: object = None
+    #: Owned clients that died under the fault plan (crashed and never
+    #: reconnected, or casualties of a shard crash) — excluded from the
+    #: surviving population consistency is asserted over.
+    dead: Tuple[ClientId, ...] = ()
     # -- adversary detection (docs/adversary.md); defaults = honest run --
     #: :class:`repro.core.detection.DetectionRecord` tuples (picklable).
     detection: Tuple = ()
@@ -293,6 +317,7 @@ class PartitionReplica:
         size_bytes: int,
         arrival: TimeMs,
         dropped: bool,
+        incarnation: int = 0,
     ) -> None:
         if self._discard_remote:
             return
@@ -300,7 +325,17 @@ class PartitionReplica:
         self._send_seq += 1
         frame = None if dropped else self.codec.encode(payload)
         self._outgoing.append(
-            (arrival, self.partition, seq, src, dst, frame, size_bytes, dropped)
+            (
+                arrival,
+                self.partition,
+                seq,
+                src,
+                dst,
+                frame,
+                size_bytes,
+                dropped,
+                incarnation,
+            )
         )
 
     def _inject(self, entries: List[Entry]) -> None:
@@ -316,7 +351,7 @@ class PartitionReplica:
         sim = self.engine.sim
         network = self.engine.network
         meter = network.meter
-        for arrival, _, _, src, dst, frame, size, dropped in sorted(
+        for arrival, _, _, src, dst, frame, size, dropped, incarnation in sorted(
             entries, key=lambda e: (e[0], e[1], e[2])
         ):
             if dropped:
@@ -328,23 +363,140 @@ class PartitionReplica:
                 payload = self.codec.decode(frame)
                 sim.schedule_at(
                     arrival,
-                    lambda s=src, d=dst, p=payload, z=size: network._dispatch(
-                        s, d, p, z
+                    lambda s=src, d=dst, p=payload, z=size, i=incarnation: (
+                        network._dispatch(s, d, p, z, i)
                     ),
                 )
 
     # -- driving -----------------------------------------------------------
     def start(self) -> None:
-        """Activate the owned slice (mirrors the classic runner's
-        start sequencing; crash plans are impossible at K > 1)."""
+        """Activate the owned slice (mirrors the classic runner's start
+        sequencing).  Crash plans are applied replica-locally: every
+        replica schedules every window at the same virtual instants, but
+        each applies only the effects its slice owns — owned servers get
+        crashed/recovered for real, owned clients compute the casualty
+        rule from their (authoritative) local state, and foreign hosts
+        are only parked/revived on the network so incarnation counters
+        and ARQ bypass decisions agree across partitions.  Everything
+        else — span takeover, lease failover, liveness eviction of a
+        foreign partition's casualties — travels as protocol messages,
+        exactly as it does between shards of the classic engine."""
         settings = self.settings
+        engine = self.engine
         plan = settings.fault_plan
         faults_active = plan is not None and not plan.is_null
         horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
         stop_at = horizon + settings.drain_ms if faults_active else None
+        engine._stop_at = stop_at
         for shard in self.owned_shards:
-            self.engine.shard_servers[shard].start(stop_at=stop_at)
+            engine.shard_servers[shard].start(stop_at=stop_at)
+        if faults_active and engine.config.liveness is not None:
+            for client_id in self.owned_clients:
+                engine._install_heartbeat(client_id, stop_at=stop_at)
+        if plan is not None:
+            for window in plan.crashes:
+                if window.is_shard:
+                    engine.sim.schedule_at(
+                        window.at_ms,
+                        lambda k=window.shard_index: self._crash_shard(k),
+                    )
+                    if window.reconnect_at_ms is not None:
+                        engine.sim.schedule_at(
+                            window.reconnect_at_ms,
+                            lambda k=window.shard_index: self._restart_shard(k),
+                        )
+                else:
+                    engine.sim.schedule_at(
+                        window.at_ms,
+                        lambda c=window.client_id: self._crash_client(c),
+                    )
+                    if window.reconnect_at_ms is not None:
+                        engine.sim.schedule_at(
+                            window.reconnect_at_ms,
+                            lambda c=window.client_id: self._revive_client(c),
+                        )
         self.workload.install(only=self.owned_clients)
+
+    # -- crash windows (docs/control_plane.md) -----------------------------
+    def _crash_shard(self, shard: int) -> None:
+        """Apply one shard-crash window to this replica's slice."""
+        engine = self.engine
+        host_id = shard_host_id(shard)
+        server = engine.shard_servers[shard]
+        server._crashed = True
+        if shard in self.owned_shards:
+            server.stop()
+        engine.crashed_shards.add(shard)
+        engine.network.crash(host_id)
+        for k in self.owned_shards:
+            peer = engine.shard_servers[k]
+            if not peer._crashed:
+                peer.note_shard_down(shard)
+        # Casualties: the client-local rule over *owned* clients only —
+        # a foreign client's attachment state is stale here by design,
+        # so its owner decides; foreign shards that still hold such a
+        # casualty evict it through the ordinary liveness sweep once its
+        # heartbeats stop.
+        casualties = []
+        for client_id in self.owned_clients:
+            if client_id in engine.dead:
+                continue
+            client = engine.clients[client_id]
+            if client.server_id == host_id or (
+                client._migrating and client._migration_target == shard
+            ):
+                casualties.append(client_id)
+        for client_id in casualties:
+            engine.mark_dead(client_id)
+            if engine.network.is_registered(client_id):
+                engine.network.crash(client_id)
+            self.workload.stop_client(client_id)
+        for client_id in casualties:
+            for k in self.owned_shards:
+                peer = engine.shard_servers[k]
+                if not peer._crashed and client_id in peer.clients:
+                    peer.evict_client(client_id)
+        live = [s for s in engine.shard_servers if not s._crashed]
+        for client_id in self.owned_clients:
+            if client_id in engine.dead:
+                continue
+            client = engine.clients[client_id]
+            if client._rejoin_target == host_id and live:
+                client._rejoin_target = shard_host_id(live[0].shard_index)
+
+    def _restart_shard(self, shard: int) -> None:
+        """Apply one shard-restart to this replica's slice."""
+        engine = self.engine
+        if shard in self.owned_shards:
+            engine.restart_shard(shard)
+            return
+        # Foreign shard: unpark the dormant stand-in and bump the
+        # incarnation in lockstep with the owner's revive, so sends from
+        # this partition stamp the incarnation the real replacement
+        # server answers to.
+        engine.network.reconnect(shard_host_id(shard))
+        engine.shard_servers[shard]._crashed = False
+        engine.crashed_shards.discard(shard)
+
+    def _crash_client(self, client_id: ClientId) -> None:
+        """Apply one client-crash window to this replica's slice."""
+        engine = self.engine
+        if self.client_owner[client_id] == self.partition:
+            self.workload.stop_client(client_id)
+            engine.network.crash(client_id)
+            engine.mark_dead(client_id)
+        else:
+            # Park the dormant stand-in: sends to it bypass ARQ and its
+            # incarnation counter stays in lockstep for the reconnect.
+            engine.network.crash(client_id)
+
+    def _revive_client(self, client_id: ClientId) -> None:
+        """Apply one client-reconnect to this replica's slice."""
+        engine = self.engine
+        engine.network.reconnect(client_id)
+        if self.client_owner[client_id] == self.partition:
+            engine.mark_alive(client_id)
+            self.workload.resume_client(client_id)
 
     def report(self) -> BarrierReport:
         bundles = self._outgoing
@@ -374,14 +526,17 @@ class PartitionReplica:
     def _quiescent(self) -> bool:
         engine = self.engine
         quarantined = getattr(engine, "quarantined", ())
+        dead = getattr(engine, "dead", ())
         for client_id in self.owned_clients:
-            if client_id in quarantined:
-                continue  # evicted mid-flight; nothing left to drain
+            if client_id in quarantined or client_id in dead:
+                continue  # evicted/crashed mid-flight; nothing to drain
             client = engine.clients[client_id]
             if client.pending_count or client._migrating:
                 return False
         for shard in self.owned_shards:
             server = engine.shard_servers[shard]
+            if server._crashed:
+                continue  # a dead shard drains nothing
             if server._handoffs or server.uncommitted_count:
                 return False
             if getattr(server, "elastic", None) is not None:
@@ -431,6 +586,12 @@ class PartitionReplica:
                     cpu_ms=engine.server_hosts[shard].cpu_time_used,
                     rebalance_log=tuple(getattr(server, "rebalance_log", ())),
                     stripe=tuple(server.partition.bounds(shard)),
+                    failover_log=(
+                        tuple(server.lease.log)
+                        if getattr(server, "lease", None) is not None
+                        else ()
+                    ),
+                    crashed=server._crashed,
                 )
             )
         recorder = engine.rwset_recorder
@@ -471,6 +632,7 @@ class PartitionReplica:
             shards=shards,
             rwset_violations=violations,
             observer=self.obs,
+            dead=tuple(sorted(engine.dead)),
             detection=detection,
             quarantined=quarantined,
             detector_counts=detector_counts,
@@ -596,6 +758,12 @@ def _drive(handles, settings) -> List[PartitionSnapshot]:
         )
     horizon = settings.workload_duration_ms + 2 * settings.move_interval_ms
     deadline = horizon + settings.drain_ms
+    # Shard crashes break elastic-counter conservation by construction:
+    # control messages to a dying shard are counted sent but never
+    # received, and a restarted shard's counters reset.  The classic
+    # engine waives the same term when shard windows are armed.
+    plan = settings.fault_plan
+    crash_tolerant = plan is not None and bool(plan.shard_crashes)
 
     launches = [handle.launch() for handle in handles]
     host_owner: Dict[ClientId, int] = {}
@@ -614,8 +782,11 @@ def _drive(handles, settings) -> List[PartitionSnapshot]:
         if (
             now >= horizon
             and all(report.quiescent for report in reports)
-            and sum(report.elastic_sent for report in reports)
-            == sum(report.elastic_received for report in reports)
+            and (
+                crash_tolerant
+                or sum(report.elastic_sent for report in reports)
+                == sum(report.elastic_received for report in reports)
+            )
         ):
             # Quiescent stop: in-flight bundles are dead (see module
             # doc).  The elastic-counter conservation term keeps the
@@ -722,8 +893,37 @@ class MergedRun:
             )
             for shard in shard_snapshots
         ]
-        #: Controller-side rebalance log (shard 0's snapshot carries it).
-        self.rebalance_events = tuple(shard_snapshots[0].rebalance_log)
+        #: Controller-side rebalance log.  Under the replicated control
+        #: plane the controller role can move between shards, so merge
+        #: every shard's log, deduped by partition version.
+        seen_versions = set()
+        rebalances = []
+        for shard in shard_snapshots:
+            for event in shard.rebalance_log:
+                if event["version"] in seen_versions:
+                    continue
+                seen_versions.add(event["version"])
+                rebalances.append(event)
+        self.rebalance_events = tuple(
+            sorted(rebalances, key=lambda e: e["version"])
+        )
+        #: Completed lease transfers (each winner logged its own).
+        self.failover_events = tuple(
+            sorted(
+                (
+                    event
+                    for shard in shard_snapshots
+                    for event in shard.failover_log
+                ),
+                key=lambda e: (e.at_ms, e.term),
+            )
+        )
+        self.crashed_shards = {
+            shard.shard_index for shard in shard_snapshots if shard.crashed
+        }
+        self.dead = set()
+        for snapshot in snapshots:
+            self.dead.update(snapshot.dead)
         self.server = self.shard_servers[0]
         self.server_hosts = {
             shard.shard_index: SimpleNamespace(cpu_time_used=shard.cpu_ms)
@@ -801,6 +1001,7 @@ class MergedRun:
             for client_id in self.clients
             if client_id in self._attached
             and client_id not in self.quarantined
+            and client_id not in self.dead
         ]
 
     def span_gsn_map(self) -> Dict:

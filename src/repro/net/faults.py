@@ -86,15 +86,22 @@ class Partition:
 
 @dataclass(frozen=True)
 class CrashWindow:
-    """A scheduled client crash, optionally followed by a reconnect.
+    """A scheduled crash, optionally followed by a reconnect/restart.
 
-    ``reconnect_at_ms=None`` means the client never comes back (the
-    permanent failure of Section III-C).
+    The target is either a client (``shard_index is None``) or a shard
+    host (``shard_index = K`` kills shard K's server process; its
+    attached clients die with it).  ``reconnect_at_ms=None`` means the
+    target never comes back (the permanent failure of Section III-C);
+    for a shard target a reconnect time means the host restarts and
+    recovers from its checkpoint+WAL (docs/control_plane.md).
     """
 
     client_id: ClientId
     at_ms: TimeMs
     reconnect_at_ms: Optional[TimeMs] = None
+    #: When set, this window targets shard host ``shard_index`` instead
+    #: of a client; ``client_id`` is ignored (conventionally -1).
+    shard_index: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.at_ms < 0:
@@ -103,13 +110,32 @@ class CrashWindow:
             raise ConfigurationError(
                 f"reconnect at {self.reconnect_at_ms} must follow crash at {self.at_ms}"
             )
+        if self.shard_index is not None and self.shard_index < 0:
+            raise ConfigurationError(
+                f"shard index must be >= 0, got {self.shard_index}"
+            )
+
+    @property
+    def is_shard(self) -> bool:
+        """True when this window crashes a shard host, not a client."""
+        return self.shard_index is not None
+
+    @property
+    def target_label(self) -> str:
+        """Human-readable target for error messages: ``"s2"`` or ``"7"``."""
+        if self.shard_index is not None:
+            return f"s{self.shard_index}"
+        return str(self.client_id)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data: Dict[str, Any] = {
             "client_id": self.client_id,
             "at_ms": self.at_ms,
             "reconnect_at_ms": self.reconnect_at_ms,
         }
+        if self.shard_index is not None:
+            data["shard_index"] = self.shard_index
+        return data
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "CrashWindow":
@@ -117,15 +143,50 @@ class CrashWindow:
             client_id=data["client_id"],
             at_ms=data["at_ms"],
             reconnect_at_ms=data.get("reconnect_at_ms"),
+            shard_index=data.get("shard_index"),
         )
+
+
+def validate_crash_windows(windows: Iterable[CrashWindow]) -> None:
+    """Reject duplicate or overlapping windows for the same target.
+
+    Two windows for one client (or one shard) overlap when the second
+    crash fires while the first is still in effect — i.e. before the
+    first reconnect, or ever, when the first window never reconnects.
+    Scheduling such a plan would double-crash the host, so it is a
+    configuration error naming the offending entry.
+    """
+    by_target: Dict[Tuple[str, int], list] = {}
+    for window in windows:
+        key = ("s", window.shard_index) if window.is_shard else ("c", window.client_id)
+        by_target.setdefault(key, []).append(window)
+    for group in by_target.values():
+        group.sort(key=lambda w: (w.at_ms, w.reconnect_at_ms or float("inf")))
+        for prev, nxt in zip(group, group[1:]):
+            clear_at = prev.reconnect_at_ms
+            if clear_at is None or nxt.at_ms < clear_at:
+                prev_desc = f"{prev.target_label}@{prev.at_ms:g}" + (
+                    f":{prev.reconnect_at_ms:g}" if prev.reconnect_at_ms else ""
+                )
+                nxt_desc = f"{nxt.target_label}@{nxt.at_ms:g}" + (
+                    f":{nxt.reconnect_at_ms:g}" if nxt.reconnect_at_ms else ""
+                )
+                raise ConfigurationError(
+                    f"crash-plan entry {nxt_desc!r} overlaps earlier window "
+                    f"{prev_desc!r} for the same target"
+                )
 
 
 def parse_crash_plan(text: str) -> Tuple[CrashWindow, ...]:
     """Parse the CLI crash-plan syntax into :class:`CrashWindow` tuples.
 
-    Syntax: comma-separated ``CLIENT@CRASH_MS[:RECONNECT_MS]`` entries,
-    e.g. ``"0@800"`` (client 0 dies at t=800ms, stays dead) or
-    ``"0@800:2500,3@1200"``.
+    Syntax: comma-separated ``TARGET@CRASH_MS[:RECONNECT_MS]`` entries
+    where ``TARGET`` is a client id or ``s<K>`` for shard host K, e.g.
+    ``"0@800"`` (client 0 dies at t=800ms, stays dead),
+    ``"0@800:2500,3@1200"``, or ``"s1@2000:6000"`` (shard 1's host
+    crashes at t=2000ms and restarts from its checkpoint+WAL at
+    t=6000ms).  Duplicate or overlapping windows for the same target
+    are rejected (they would double-crash the host).
     """
     windows = []
     for chunk in text.split(","):
@@ -133,22 +194,35 @@ def parse_crash_plan(text: str) -> Tuple[CrashWindow, ...]:
         if not chunk:
             continue
         try:
-            client_part, _, when_part = chunk.partition("@")
+            target_part, _, when_part = chunk.partition("@")
             if not when_part:
                 raise ValueError("missing '@'")
             crash_part, _, reconnect_part = when_part.partition(":")
-            windows.append(
-                CrashWindow(
-                    client_id=int(client_part),
-                    at_ms=float(crash_part),
-                    reconnect_at_ms=float(reconnect_part) if reconnect_part else None,
+            at_ms = float(crash_part)
+            reconnect = float(reconnect_part) if reconnect_part else None
+            if target_part.startswith("s") or target_part.startswith("S"):
+                windows.append(
+                    CrashWindow(
+                        client_id=-1,
+                        at_ms=at_ms,
+                        reconnect_at_ms=reconnect,
+                        shard_index=int(target_part[1:]),
+                    )
                 )
-            )
+            else:
+                windows.append(
+                    CrashWindow(
+                        client_id=int(target_part),
+                        at_ms=at_ms,
+                        reconnect_at_ms=reconnect,
+                    )
+                )
         except (ValueError, ConfigurationError) as exc:
             raise ConfigurationError(
                 f"bad crash-plan entry {chunk!r} "
-                f"(expected CLIENT@CRASH_MS[:RECONNECT_MS]): {exc}"
+                f"(expected CLIENT@CRASH_MS[:RECONNECT_MS] or sK@...): {exc}"
             ) from exc
+    validate_crash_windows(windows)
     return tuple(windows)
 
 
@@ -203,6 +277,16 @@ class FaultPlan:
             and not self.partitions
             and not self.crashes
         )
+
+    @property
+    def client_crashes(self) -> Tuple[CrashWindow, ...]:
+        """The crash windows targeting clients."""
+        return tuple(w for w in self.crashes if not w.is_shard)
+
+    @property
+    def shard_crashes(self) -> Tuple[CrashWindow, ...]:
+        """The crash windows targeting shard hosts."""
+        return tuple(w for w in self.crashes if w.is_shard)
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -152,11 +152,12 @@ class Network:
         #: messages to a host in ``remote_hosts`` are not delivered
         #: locally: the sender computes the arrival time (occupying the
         #: link exactly as a local transmit would) and hands
-        #: ``(src, dst, payload, size, arrival, dropped)`` to the sink,
-        #: which batches it for the partition that owns ``dst``.  Both
-        #: default to "off" and cost nothing on the classic path.
+        #: ``(src, dst, payload, size, arrival, dropped, incarnation)``
+        #: to the sink, which batches it for the partition that owns
+        #: ``dst``.  Both default to "off" and cost nothing on the
+        #: classic path.
         self.remote_sink: Optional[
-            Callable[[ClientId, ClientId, object, int, TimeMs, bool], None]
+            Callable[[ClientId, ClientId, object, int, TimeMs, bool, int], None]
         ] = None
         self.remote_hosts: frozenset[ClientId] = frozenset()
 
@@ -248,6 +249,26 @@ class Network:
             self._handlers[host_id] = self._parked.pop(host_id)
         except KeyError:
             raise NetworkError(f"host {host_id} never crashed; cannot reconnect") from None
+        self._incarnation[host_id] = self._incarnation.get(host_id, 0) + 1
+
+    def revive(self, host_id: ClientId) -> None:
+        """Clear a crashed host's slot so a *fresh* instance can attach.
+
+        Like :meth:`reconnect`, but for a restarted server process: the
+        old protocol endpoint died with the host, and a new instance
+        (recovered from checkpoint+WAL — docs/control_plane.md) takes
+        over the host id.  The parked handler is discarded and the
+        incarnation bumped — so deliveries aimed at the dead instance
+        stay dead — but the slot is left *unregistered*: the replacement
+        server registers itself during construction, exactly like the
+        original did."""
+        if host_id in self._handlers:
+            raise NetworkError(f"host {host_id} is already connected")
+        if host_id not in self._parked:
+            raise NetworkError(
+                f"host {host_id} never crashed; cannot revive"
+            )
+        del self._parked[host_id]
         self._incarnation[host_id] = self._incarnation.get(host_id, 0) + 1
 
     def is_registered(self, host_id: ClientId) -> bool:
@@ -448,13 +469,18 @@ class Network:
             dropped, extra_delay, duplicate = self.faults.decide(
                 src, dst, self.sim.now
             )
+        incarnation = self._incarnation.get(dst, 0)
         arrival = link.remote_arrival(size_bytes, extra_delay)
-        self.remote_sink(src, dst, payload, size_bytes, arrival, dropped)
+        self.remote_sink(
+            src, dst, payload, size_bytes, arrival, dropped, incarnation
+        )
         if duplicate:
             self.meter.record(src, dst, size_bytes)
             self.meter.note_duplicate()
             dup_arrival = link.remote_arrival(size_bytes, extra_delay)
-            self.remote_sink(src, dst, payload, size_bytes, dup_arrival, False)
+            self.remote_sink(
+                src, dst, payload, size_bytes, dup_arrival, False, incarnation
+            )
         return arrival
 
     def _dispatch(

@@ -171,3 +171,109 @@ class CheckpointPolicy:
         if not self.checkpoints:
             raise ProtocolError("no checkpoint taken yet")
         return load_store(self.checkpoints[-1])
+
+
+class ShardRecoveryLog:
+    """Checkpoint + write-ahead log for one shard server.
+
+    The WAL records every committed write *between* checkpoints plus
+    the sequencer's gsn assignments, so a crashed shard host restarts
+    into exactly its committed state (docs/control_plane.md):
+
+    * ``("commit", pos, [(oid, attrs), ...])`` — the values one commit
+      wrote, appended from the server's ``on_commit`` hook (splice and
+      blind-write entries included, so cross-shard writes recover too).
+    * ``("gsn", n)`` — the sequencer assigned gsn ``n``; replay
+      restores the counter so re-sequenced spans never reuse a number.
+
+    A checkpoint truncates the commit records it covers.  Recovery =
+    load the latest checkpoint, re-apply the WAL in order.  Known gap,
+    by design: values merged via elastic ``RegionSync`` bypass the
+    commit hook, so a restart during an open elastic epoch recovers
+    only commit-path writes (the restarted shard re-learns current
+    boundaries via its hello; see docs/control_plane.md).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        interval_commits: int = 100,
+        clock: Optional[Callable[[], TimeMs]] = None,
+    ) -> None:
+        self.policy = CheckpointPolicy(
+            store, interval_commits=interval_commits, keep=1, clock=clock
+        )
+        self.wal: List[tuple] = []
+        self.max_gsn = -1
+        self.max_pos = -1
+        self.records_appended = 0
+
+    def on_commit(self, pos: int, client_id, values) -> None:
+        """Commit hook: append the WAL record, then let the checkpoint
+        policy decide whether this commit closes an interval."""
+        self.wal.append(
+            (
+                "commit",
+                pos,
+                # WAL records are per-replica recovery artifacts (same
+                # contract as the checkpoint encoder above), and the
+                # copy guards against later in-place mutation.
+                [
+                    (oid, dict(attrs))
+                    for oid, attrs in values.items()  # lint: allow(dict-iter-serialization)
+                ],
+            )
+        )
+        self.records_appended += 1
+        before = self.policy.covered_upto
+        self.policy.on_commit(pos, client_id, values)
+        if self.policy.covered_upto != before:
+            # The checkpoint covers everything up to pos; drop the
+            # commit records it subsumes (gsn records survive — the
+            # counter is not part of the store snapshot).
+            self.wal = [
+                rec
+                for rec in self.wal
+                if rec[0] != "commit" or rec[1] > self.policy.covered_upto
+            ]
+
+    def note_gsn(self, gsn: int) -> None:
+        """Record a sequencer gsn assignment."""
+        self.wal.append(("gsn", gsn))
+        self.records_appended += 1
+        if gsn > self.max_gsn:
+            self.max_gsn = gsn
+
+    def note_stream(self, pos: int) -> None:
+        """Record a stream-position admission (high-water only).
+
+        A restarted server must never re-issue a position a client may
+        already hold in its applied set, so the replacement seeds its
+        stream counter past everything the dead incarnation admitted.
+        """
+        if pos > self.max_pos:
+            self.max_pos = pos
+
+    def recover(self) -> ObjectStore:
+        """The committed store at crash time: latest checkpoint (or an
+        empty store) plus the WAL's commit records in order."""
+        if self.policy.latest is not None:
+            store = self.policy.restore_latest()
+        else:
+            store = ObjectStore()
+        for rec in self.wal:
+            if rec[0] != "commit":
+                continue
+            store.merge({oid: dict(attrs) for oid, attrs in rec[2]})
+        return store
+
+    @property
+    def next_gsn(self) -> int:
+        """First gsn a restarted sequencer may assign."""
+        return self.max_gsn + 1
+
+    @property
+    def next_pos(self) -> int:
+        """First stream position a restarted server may admit."""
+        return self.max_pos + 1

@@ -182,10 +182,41 @@ def test_parse_crash_plan():
     assert parse_crash_plan("") == ()
 
 
-@pytest.mark.parametrize("text", ["0", "x@100", "0@100:50", "0@-5"])
+def test_parse_crash_plan_shard_targets():
+    windows = parse_crash_plan("s1@2000:6000, 0@800")
+    assert windows == (
+        CrashWindow(-1, 2000.0, 6000.0, shard_index=1),
+        CrashWindow(0, 800.0, None),
+    )
+    assert windows[0].is_shard and not windows[1].is_shard
+    assert windows[0].target_label == "s1"
+    assert FaultPlan(crashes=windows).shard_crashes == windows[:1]
+    assert FaultPlan(crashes=windows).client_crashes == windows[1:]
+
+
+@pytest.mark.parametrize("text", ["0", "x@100", "0@100:50", "0@-5", "s@100", "s-1@100"])
 def test_bad_crash_plan_rejected(text):
     with pytest.raises(ConfigurationError):
         parse_crash_plan(text)
+
+
+@pytest.mark.parametrize(
+    "text, offender",
+    [
+        ("0@500:1500, 0@1000:2000", "0@1000:2000"),  # overlapping windows
+        ("3@500, 3@2000", "3@2000"),  # first window never reconnects
+        ("s1@500:1500, s1@1500:2500, s1@1600", "s1@1600"),  # back-to-back ok, re-crash mid-window not
+    ],
+)
+def test_overlapping_crash_windows_rejected_naming_offender(text, offender):
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_crash_plan(text)
+    assert offender in str(excinfo.value)
+
+
+def test_disjoint_crash_windows_per_target_accepted():
+    windows = parse_crash_plan("0@500:1500, 0@1500:2500, s1@500:900, s1@900")
+    assert len(windows) == 4
 
 
 def test_reconnect_must_follow_crash():

@@ -290,24 +290,50 @@ def test_shards_require_push_mode():
             build_engine(architecture, settings)
 
 
-def test_shards_reject_crash_plans():
+def test_shards_accept_crash_plans_and_liveness():
+    """Regression: crash plans and liveness configs are legal at every
+    K (docs/control_plane.md) — the old shard-0-SPOF rejections are
+    gone for good."""
     crashing = FaultPlan(
         loss_rate=0.01, seed=3, crashes=(CrashWindow(0, 500.0, 1500.0),)
     )
-    with pytest.raises(ConfigurationError):
-        build_engine("seve", DIFF.with_(shards=2, fault_plan=crashing))
-
-
-def test_sharded_engine_rejects_liveness_config():
+    engine = build_engine("seve", DIFF.with_(shards=2, fault_plan=crashing))
+    assert isinstance(engine, ShardedSeveEngine)
     world = build_world(DIFF)
     config = SeveConfig(mode="seve", rtt_ms=150.0, liveness=LivenessConfig())
+    engine = ShardedSeveEngine(
+        world,
+        DIFF.num_clients,
+        config,
+        sharding=ShardingConfig(shards=2, world_width=DIFF.world_width),
+    )
+    assert engine.config.liveness is not None
+
+
+def test_shard_crash_window_guards():
+    """The guards that remain: shard windows need K >= 2, a real shard
+    index, and killing shard 0 for good needs the replicated plane."""
+    dead_shard = FaultPlan(seed=3, crashes=(
+        CrashWindow(-1, 500.0, 1500.0, shard_index=1),
+    ))
     with pytest.raises(ConfigurationError):
-        ShardedSeveEngine(
-            world,
-            DIFF.num_clients,
-            config,
-            sharding=ShardingConfig(shards=2, world_width=DIFF.world_width),
-        )
+        SimulationSettings(shards=1, fault_plan=dead_shard)
+    out_of_range = FaultPlan(seed=3, crashes=(
+        CrashWindow(-1, 500.0, None, shard_index=5),
+    ))
+    with pytest.raises(ConfigurationError):
+        build_engine("seve", DIFF.with_(shards=2, fault_plan=out_of_range))
+    kill_zero = FaultPlan(seed=3, crashes=(
+        CrashWindow(-1, 500.0, None, shard_index=0),
+    ))
+    with pytest.raises(ConfigurationError):
+        build_engine("seve", DIFF.with_(shards=2, fault_plan=kill_zero))
+    # The identical plan is legal once the sequencer is replicated.
+    engine = build_engine(
+        "seve",
+        DIFF.with_(shards=2, fault_plan=kill_zero, control_plane="replicated"),
+    )
+    assert isinstance(engine, ShardedSeveEngine)
 
 
 def test_sharded_engine_rejects_pull_modes():
@@ -325,3 +351,164 @@ def test_sharded_engine_rejects_pull_modes():
 def test_settings_validate_shard_count():
     with pytest.raises(ConfigurationError):
         SimulationSettings(shards=0)
+
+
+# ---------------------------------------------------------------------------
+# Crash fault tolerance and the replicated control plane
+# (docs/control_plane.md)
+# ---------------------------------------------------------------------------
+#: Small clustered deployment whose centre-spawn keeps spanning actions
+#: in flight throughout — crashes land mid-span by construction.
+FAULTED = SimulationSettings(
+    num_clients=12,
+    num_walls=60,
+    moves_per_client=10,
+    world_width=400.0,
+    world_height=300.0,
+    spawn="cluster",
+    spawn_extent=90.0,
+    rtt_ms=150.0,
+    bandwidth_bps=None,
+    move_interval_ms=200.0,
+    cost_model="fixed",
+    move_cost_ms=1.0,
+    eval_overhead_ms=0.1,
+    seed=13,
+)
+
+
+def _assert_survivors_consistent(result):
+    assert result.consistency is not None and result.consistency.consistent
+    assert result.shard_audit is not None
+    assert result.shard_audit.consistent, result.shard_audit.summary()
+    assert result.shard_audit.order_violations == []
+    assert result.responses_observed > 0
+
+
+def test_replicated_plane_is_protocol_transparent_fault_free():
+    """Fault-free, the lease is pre-granted to shard 0: no election
+    ever fires and every protocol outcome matches single mode exactly —
+    only the heartbeat traffic differs."""
+    single = run_simulation("seve", FAULTED.with_(shards=2))
+    repl = run_simulation(
+        "seve", FAULTED.with_(shards=2, control_plane="replicated")
+    )
+    assert repl.failovers == 0
+    assert repl.moves_submitted == single.moves_submitted
+    assert repl.responses_observed == single.responses_observed
+    assert repl.response.mean == single.response.mean
+    assert repl.shard_audit.span_observations == (
+        single.shard_audit.span_observations
+    )
+    assert repl.total_traffic_kb > single.total_traffic_kb  # heartbeats
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("shards", [2, 4])
+def test_shard_crash_and_restart_recovers(shards):
+    """A shard host dies mid-span-flight and restarts from its
+    checkpoint+WAL; survivors adopt its span obligations and the
+    honest-survivor audit stays green at K=2 and K=4."""
+    plan = FaultPlan(
+        seed=7, crashes=(CrashWindow(-1, 1500.0, 3500.0, shard_index=1),)
+    )
+    result = run_simulation(
+        "seve", FAULTED.with_(shards=shards, fault_plan=plan)
+    )
+    _assert_survivors_consistent(result)
+
+
+@pytest.mark.faults
+def test_permanent_sequencer_crash_fails_over():
+    """Killing shard 0 for good under the replicated plane: the lease
+    quorum elects a new sequencer and the run completes with audits
+    green — the exact run the singleton sequencer could never survive."""
+    plan = FaultPlan(
+        seed=7, crashes=(CrashWindow(-1, 2000.0, None, shard_index=0),)
+    )
+    result = run_simulation(
+        "seve",
+        FAULTED.with_(
+            shards=4, fault_plan=plan, control_plane="replicated"
+        ),
+    )
+    _assert_survivors_consistent(result)
+    assert result.failovers >= 1
+    first = result.failover_events[0]
+    assert first["holder"] != 0
+    assert first["at_ms"] >= 2000.0
+
+
+@pytest.mark.faults
+def test_client_crash_and_reconnect_under_loss():
+    """Client churn on a lossy wire at K=2: one permanent death, one
+    crash+rejoin via ClientHello; the survivors stay consistent."""
+    plan = FaultPlan(
+        loss_rate=0.02,
+        seed=5,
+        crashes=(
+            CrashWindow(2, 1200.0, 2600.0),
+            CrashWindow(5, 1800.0, None),
+        ),
+    )
+    result = run_simulation(
+        "seve", FAULTED.with_(shards=2, fault_plan=plan)
+    )
+    _assert_survivors_consistent(result)
+    assert result.clients_evicted >= 1
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_shard_crash_during_elastic_epochs():
+    """Shard crash + restart while the elastic rebalancer is live: the
+    drain quorum shrinks to the survivors, the restarted shard catches
+    up on the committed partition version, and audits stay green."""
+    plan = FaultPlan(
+        seed=9, crashes=(CrashWindow(-1, 2500.0, 5000.0, shard_index=1),)
+    )
+    result = run_simulation(
+        "seve",
+        FAULTED.with_(
+            num_walls=60,
+            moves_per_client=12,
+            shards=4,
+            fault_plan=plan,
+            elastic=True,
+            elastic_interval_ms=400.0,
+            elastic_hysteresis=2,
+            control_plane="replicated",
+        ),
+    )
+    _assert_survivors_consistent(result)
+
+
+@pytest.mark.slow
+@pytest.mark.faults
+def test_backends_agree_under_shard_crash():
+    """The acceptance scenario: the same shard-crash plan at K=4 on the
+    classic, windowed, and multiprocessing backends — every backend's
+    audits are green, and the two windowed backends are byte-identical."""
+    plan = FaultPlan(
+        seed=7, crashes=(CrashWindow(-1, 1500.0, 3500.0, shard_index=2),)
+    )
+    base = FAULTED.with_(
+        shards=4, fault_plan=plan, control_plane="replicated"
+    )
+    classic = run_simulation("seve", base)
+    windowed = run_simulation("seve", base.with_(workers=4))
+    parallel = run_simulation(
+        "seve", base.with_(backend="parallel", workers=4)
+    )
+    for result in (classic, windowed, parallel):
+        _assert_survivors_consistent(result)
+    for field in (
+        "moves_submitted",
+        "responses_observed",
+        "total_traffic_kb",
+        "drop_percent",
+        "events",
+        "failover_events",
+    ):
+        assert getattr(windowed, field) == getattr(parallel, field), field
+    assert windowed.response.mean == parallel.response.mean
