@@ -17,6 +17,9 @@
 # BENCH_controlplane.json records the replicated sequencer's
 # throughput parity with the shard-0 singleton and the failover outage
 # after a permanent sequencer kill (docs/control_plane.md).
+# BENCH_protocol.json records the protocol conformance toolchain:
+# flow-graph size and finding count (must be zero) plus the race
+# explorer's schedule/run counts (docs/static_analysis.md).
 #
 # Usage:  scripts/bench.sh [--quick]        (--quick: smaller end-to-end run)
 set -euo pipefail
@@ -29,3 +32,4 @@ python benchmarks/bench_wallclock.py "$@"
 python benchmarks/bench_adversary.py "$@"
 python benchmarks/bench_elastic.py "$@"
 python benchmarks/bench_controlplane.py "$@"
+python benchmarks/bench_protocol.py "$@"

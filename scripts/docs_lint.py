@@ -74,6 +74,8 @@ NON_CLI_FLAGS = frozenset({
     "--no-build-isolation",
     "--paper-scale",
     "--quick",
+    "--race-budget",
+    "--race-shrink-budget",
     "--root",
     "--write-baseline",
 })

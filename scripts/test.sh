@@ -24,11 +24,17 @@ export PYTHONPATH=src
 # wall-clock reads, unseeded RNGs, unsorted set/dict iteration, and
 # id() ordering are banned from the library — plus the RW-set escape
 # checker over every Action subclass (compute/apply must only touch
-# declared object ids).  The JSON mode is exercised too so the CI
-# output format cannot rot.
+# declared object ids), the protocol conformance analyzer (every
+# registered message has senders, a dispatch handler, a codec field
+# encoder, and a decode path; conservation groups counted on both
+# ends), and the schedule-permutation race smoke (the default
+# scenarios under every permutation rule, ~1s).  The JSON mode is
+# exercised too so the CI output format cannot rot.
 static_analysis() {
   python scripts/lint.py --check determinism src/repro scripts examples
   python scripts/lint.py --check rwset src/repro/world examples
+  python scripts/lint.py --check protocol
+  python scripts/lint.py --check races
   python scripts/lint.py --check determinism --json src/repro \
     | python -c 'import json,sys; json.load(sys.stdin)'
 }

@@ -1,22 +1,28 @@
 """Command-line front end for the static checks: ``python -m
 repro.analysis`` (docs/static_analysis.md).
 
-Runs the determinism linter and/or the static RW-set escape analysis
-over a set of files or directories and prints findings one per line
-(``path:line:col: [rule] message``), or a JSON document with ``--json``
-for CI consumption.
+Runs the determinism linter, the static RW-set escape analysis, the
+protocol conformance analyzer, and/or the schedule-permutation race
+explorer over a set of files or directories and prints findings one
+per line (``path:line:col: [rule] message``), or a JSON document with
+``--json`` for CI consumption.  A bare check name may be given as the
+first positional argument (``python -m repro.analysis protocol``) as
+shorthand for ``--check``.
 
 Exit codes
 ----------
 0   clean — no findings beyond the baseline
-1   findings were reported
+1   findings were reported, or the baseline holds stale suppressions
 2   usage error (unknown path, unreadable baseline, syntax error in a
     checked file)
 
 A baseline file (``--baseline``) holds the keys of previously accepted
 findings; matching findings are filtered out so the checks can be
-introduced over an imperfect tree and ratcheted.  ``--write-baseline``
-rewrites the file to accept everything currently reported.
+introduced over an imperfect tree and ratcheted.  The ratchet only
+tightens: a baseline entry that no longer matches any reported finding
+(and is applicable to the executed checks and scanned paths) is a
+*stale suppression* and fails the run — regenerate with
+``--write-baseline`` to shrink the file.
 """
 
 from __future__ import annotations
@@ -27,16 +33,23 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.lint import Finding, lint_paths
+from repro.analysis.lint import RULES, Finding, display_path, lint_paths
 from repro.analysis.rwset_static import RWSetEscape, check_paths
 
 #: Default targets per check when no paths are given on the command
 #: line.  The determinism linter covers the whole library; the RW-set
-#: checker only makes sense where Action subclasses live.
+#: checker only makes sense where Action subclasses live; the protocol
+#: analyzer needs every module that constructs or handles messages.
 _DEFAULT_PATHS = {
     "determinism": ["src/repro"],
     "rwset": ["src/repro/world", "examples"],
+    "protocol": ["src/repro/core", "src/repro/net", "src/repro/baselines"],
+    "races": [],
 }
+
+#: Check names accepted positionally (``python -m repro.analysis
+#: protocol``) and by ``--check``.
+CHECK_NAMES = ("determinism", "rwset", "protocol", "races", "all")
 
 BaselineKey = Tuple[str, str, int]
 
@@ -84,6 +97,89 @@ def _finding_dict(finding) -> dict:
     }
 
 
+def _race_findings(budget: int, shrink_budget: int) -> List[Finding]:
+    """Run the schedule-permutation explorer and fold violations into
+    synthetic findings so the baseline/JSON machinery applies.
+
+    Dynamic check: ignores positional paths.  Each violation becomes a
+    ``race-violation`` finding whose path is ``races:<scenario>``.
+    """
+    from repro.analysis.races import explore
+
+    report = explore(budget=budget, shrink_budget=shrink_budget)
+    findings: List[Finding] = []
+    for result in report.results:
+        for violation in result.violations:
+            where = (
+                "windows " + ",".join(str(w) for w in violation.windows)
+                if violation.windows is not None
+                else "identity schedule"
+            )
+            message = (
+                f"[{violation.rule}] {where}: "
+                + "; ".join(violation.problems)
+            )
+            findings.append(
+                Finding(
+                    path=f"races:{result.scenario}",
+                    line=0,
+                    col=0,
+                    rule="race-violation",
+                    message=message,
+                )
+            )
+    return findings
+
+
+def _check_rules(check: str) -> Set[str]:
+    """Rule names a given check can report — used by the baseline
+    ratchet to decide which baseline entries the run should have
+    re-confirmed."""
+    from repro.analysis.protocol import PROTOCOL_RULES
+
+    return {
+        "determinism": set(RULES),
+        "rwset": {"rwset-escape"},
+        "protocol": set(PROTOCOL_RULES),
+        "races": {"race-violation"},
+    }[check]
+
+
+def _stale_suppressions(
+    baseline: Set[BaselineKey],
+    findings: Sequence,
+    checks: Sequence[str],
+    scanned: Sequence[str],
+) -> List[BaselineKey]:
+    """Baseline entries this run should have re-reported but did not.
+
+    An entry is *applicable* when its rule belongs to one of the
+    executed checks and its path falls under a scanned path (races
+    entries are applicable whenever the races check ran).  Applicable
+    entries with no matching finding are stale: the tree got cleaner,
+    so the baseline must shrink with it.
+    """
+    rules: Set[str] = set()
+    for check in checks:
+        rules |= _check_rules(check)
+    reported = {f.key() for f in findings}
+    prefixes = tuple(scanned)
+    stale = []
+    for key in sorted(baseline):
+        path, rule, _line = key
+        if rule not in rules or key in reported:
+            continue
+        if path.startswith("races:"):
+            if "races" not in checks:
+                continue
+        elif not any(
+            path == p or path.startswith(p.rstrip("/") + "/") for p in prefixes
+        ):
+            continue
+        stale.append(key)
+    return stale
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -100,9 +196,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--check",
-        choices=["determinism", "rwset", "all"],
+        choices=list(CHECK_NAMES),
         default="determinism",
-        help="which analysis to run (default: determinism)",
+        help=(
+            "which analysis to run (default: determinism; 'all' = "
+            "determinism + rwset + protocol; 'races' runs the dynamic "
+            "schedule-permutation explorer and is never implied)"
+        ),
+    )
+    parser.add_argument(
+        "--race-budget",
+        type=int,
+        default=12,
+        metavar="N",
+        help="max extra single-window probes per race scenario (default: 12)",
+    )
+    parser.add_argument(
+        "--race-shrink-budget",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max ddmin probe runs when shrinking a violation (default: 8)",
     )
     parser.add_argument(
         "--json",
@@ -132,14 +246,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Positional sugar: `python -m repro.analysis protocol` reads as
+    # `--check protocol`.
+    if argv and argv[0] in CHECK_NAMES:
+        argv[0:1] = ["--check", argv[0]]
     parser = build_parser()
     args = parser.parse_args(argv)
     root = (args.root or Path.cwd()).resolve()
 
-    checks = ["determinism", "rwset"] if args.check == "all" else [args.check]
+    if args.check == "all":
+        checks = ["determinism", "rwset", "protocol"]
+    else:
+        checks = [args.check]
     findings: List = []
+    scanned_display: List[str] = []
     try:
         for check in checks:
+            if check == "races":
+                findings.extend(
+                    _race_findings(args.race_budget, args.race_shrink_budget)
+                )
+                continue
             paths = [Path(p).resolve() for p in args.paths] or [
                 root / p for p in _DEFAULT_PATHS[check]
             ]
@@ -147,10 +275,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 if not Path(path).exists():
                     print(f"error: no such path: {path}", file=sys.stderr)
                     return 2
+            scanned_display.extend(display_path(p, root) for p in paths)
             if check == "determinism":
                 findings.extend(lint_paths(paths, root=root))
-            else:
+            elif check == "rwset":
                 findings.extend(check_paths(paths, root=root))
+            else:
+                from repro.analysis.protocol import (
+                    check_paths as protocol_check_paths,
+                )
+
+                findings.extend(protocol_check_paths(paths, root=root))
     except (SyntaxError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -179,12 +314,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
     fresh = [f for f in findings if f.key() not in baseline]
+    stale = _stale_suppressions(baseline, findings, checks, scanned_display)
 
     if args.json:
         document = {
             "checks": checks,
             "count": len(fresh),
             "baselined": len(findings) - len(fresh),
+            "stale": [list(key) for key in stale],
             "findings": [_finding_dict(f) for f in fresh],
         }
         print(json.dumps(document, indent=2))
@@ -197,4 +334,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "the rule catalogue and suppression syntax",
                 file=sys.stderr,
             )
-    return 1 if fresh else 0
+        for path, rule, line in stale:
+            print(
+                f"stale suppression: {path}:{line} [{rule}] no longer "
+                "reported — the baseline only shrinks; regenerate with "
+                "--write-baseline",
+                file=sys.stderr,
+            )
+    return 1 if fresh or stale else 0

@@ -31,6 +31,7 @@ from repro.core.messages import (
     AbortNotice,
     ActionBatch,
     ClientHello,
+    CommitNotice,
     Completion,
     GroupBundle,
     HandoffPrepare,
@@ -281,7 +282,7 @@ class ProtocolClient:
         if (
             src < 0
             and src != self.server_id
-            and isinstance(payload, (ActionBatch, AbortNotice))
+            and isinstance(payload, (ActionBatch, AbortNotice, CommitNotice))
         ):
             # Stale stream from a shard we have handed off from; its
             # committed effects (if any) were reconciled at handoff
@@ -302,6 +303,8 @@ class ProtocolClient:
                 self._enqueue_entry(entry)
         elif isinstance(payload, AbortNotice):
             self._handle_abort(payload)
+        elif isinstance(payload, CommitNotice):
+            self._handle_commit_notice(payload)
         else:
             raise ProtocolError(
                 f"client {self.client_id}: unexpected message "
@@ -512,6 +515,24 @@ class ProtocolClient:
         self.stats.reconciliations -= 1  # bookkeeping: abort, not mismatch
         if self.on_aborted is not None:
             self.on_aborted(notice.action_id)
+
+    def _handle_commit_notice(self, notice: CommitNotice) -> None:
+        """Our action committed while the reactive reply to it was
+        parked — the echo can never arrive (the entry left the server's
+        queue), so retire the optimistic entry here.  The committed
+        values arrived in the blind write preceding this notice on the
+        same FIFO channel, so reconciling over ζ_CS replaces the
+        optimistic guess with the authoritative result."""
+        removed = self.queue.remove(notice.action_id)
+        submitted_at = self._submit_times.pop(notice.action_id, None)
+        self._cancel_retry(notice.action_id)
+        if removed is None:
+            return  # already confirmed (a late duplicate of the notice)
+        self.stats.confirmed += 1
+        self._reconcile(extra_writes=removed.writes)
+        self.stats.reconciliations -= 1  # bookkeeping: commit, not mismatch
+        if self.on_confirmed is not None and submitted_at is not None:
+            self.on_confirmed(removed, self.sim.now - submitted_at)
 
     # ------------------------------------------------------------------
     # Shard handoff (sharded deployments only)

@@ -18,8 +18,9 @@ from __future__ import annotations
 import io
 import pickle
 import struct
+import warnings
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.action import Action, ActionId, ActionResult, BlindWrite
 from repro.errors import ProtocolError
@@ -78,6 +79,23 @@ class AbortNotice:
     """Server -> originating client: the Information Bound Model dropped
     this action; roll back its optimistic effects."""
 
+    action_id: ActionId
+
+
+@dataclass(frozen=True)
+class CommitNotice:
+    """Server -> originating client: this action committed while the
+    reactive reply to it was parked by the in-order guard, so its echo
+    can no longer be delivered (the entry has left the queue).
+
+    The committed values travel in the blind write sent just before
+    this notice on the same FIFO channel; the notice itself retires the
+    client's optimistic entry and confirms the submission.  Without it
+    the originator would wait for an echo that never comes — a liveness
+    gap the schedule-permutation explorer flushed out
+    (docs/static_analysis.md)."""
+
+    pos: int
     action_id: ActionId
 
 
@@ -302,8 +320,7 @@ class RegionSync:
 
 # ----------------------------------------------------------------------
 # Control-plane messages (docs/control_plane.md).  Backbone-only, like
-# the elastic messages above; the codec ships them via its pickle
-# fallback (they never cross a client link).
+# the elastic messages above.
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class LeaseHeartbeat:
@@ -365,6 +382,78 @@ class ClientHello:
     interests: Optional[frozenset] = None
 
 
+# ----------------------------------------------------------------------
+# Protocol registry (repro.analysis.protocol, docs/static_analysis.md).
+#
+# ``PROTOCOL_MESSAGES`` is the closed set of message types the protocol
+# conformance analyzer checks senders, handlers, codec tags, and wire
+# sizes against; the tuple is parsed *statically* (never imported) by
+# the analyzer, so keep it a plain literal of names defined above.
+# ----------------------------------------------------------------------
+PROTOCOL_MESSAGES = (
+    SubmitAction,
+    OrderedAction,
+    ActionBatch,
+    Completion,
+    AbortNotice,
+    CommitNotice,
+    StateUpdate,
+    PeerForward,
+    GroupBundle,
+    Heartbeat,
+    RelayedAction,
+    SpanForward,
+    SpanSplice,
+    SpanResult,
+    SpanAbort,
+    HandoffPrepare,
+    HandoffReady,
+    HandoffTransfer,
+    HandoffWelcome,
+    LoadReport,
+    PartitionUpdate,
+    DrainDone,
+    PartitionCommit,
+    RegionSync,
+    LeaseHeartbeat,
+    LeaseRequest,
+    LeaseVote,
+    LeaseGrant,
+    ShardHello,
+    ClientHello,
+)
+
+#: Messages that only travel *inside* another message's fields (an
+#: :class:`OrderedAction` rides in batch/bundle/splice entries) and are
+#: therefore consumed structurally, never by an ``isinstance`` dispatch
+#: branch of their own.  The flow-graph analyzer exempts these from the
+#: every-message-has-a-handler rule but still requires codec coverage.
+ENVELOPED_MESSAGES = (OrderedAction,)
+
+#: Conservation accounting the analyzer enforces: every message in a
+#: group must be counted on both ends — the dispatch branch handling it
+#: bumps ``received`` and every constructor site flows through a sender
+#: that bumps ``sent`` — because the quiescence check sums exactly these
+#: counters (``ShardedSeveEngine._quiescent``).  A handler that mutates
+#: state without the accounting would let a run go quiescent with
+#: control messages still in flight.  Parsed statically, like the
+#: registry above.
+CONSERVATION_GROUPS = {
+    "elastic": {
+        "messages": (
+            "LoadReport",
+            "PartitionUpdate",
+            "DrainDone",
+            "PartitionCommit",
+            "RegionSync",
+        ),
+        "sent": "elastic_sent",
+        "received": "elastic_received",
+        "module": "core/sharded.py",
+    },
+}
+
+
 def wire_size(message: object) -> int:
     """Simulated size in bytes of a protocol message.
 
@@ -382,6 +471,8 @@ def wire_size(message: object) -> int:
         return 32 + _result_size(message.result)
     if isinstance(message, AbortNotice):
         return 24
+    if isinstance(message, CommitNotice):
+        return 32
     if isinstance(message, Heartbeat):
         return 8
     if isinstance(message, StateUpdate):
@@ -490,6 +581,18 @@ _TAG_HANDOFF_TRANSFER = 22
 _TAG_HANDOFF_WELCOME = 23
 _TAG_ARQ_PACKET = 24
 _TAG_ARQ_ACK = 25
+_TAG_LOAD_REPORT = 32
+_TAG_PARTITION_UPDATE = 33
+_TAG_DRAIN_DONE = 34
+_TAG_PARTITION_COMMIT = 35
+_TAG_REGION_SYNC = 36
+_TAG_LEASE_HEARTBEAT = 37
+_TAG_LEASE_REQUEST = 38
+_TAG_LEASE_VOTE = 39
+_TAG_LEASE_GRANT = 40
+_TAG_SHARD_HELLO = 41
+_TAG_CLIENT_HELLO = 42
+_TAG_COMMIT_NOTICE = 43
 _TAG_PICKLED = 127
 
 #: Action sub-tags (inside frame bodies).
@@ -513,6 +616,11 @@ _VAL_PICKLED = ord("P")
 
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
+
+#: Message-type names already warned about at the pickle fallback; the
+#: warning fires once per type per process, the per-codec count keeps
+#: incrementing (see :attr:`MessageCodec.pickle_fallbacks`).
+_FALLBACK_WARNED: set = set()
 
 #: Token stored in pickle streams wherever a wall field appeared; the
 #: decoding codec resolves it to its own bound :class:`WallField` so the
@@ -566,6 +674,11 @@ class MessageCodec:
 
     def __init__(self, walls=None) -> None:
         self._walls = walls
+        #: per-type count of payloads that fell back to pickle framing;
+        #: exported as the ``codec.pickle_fallback`` metric on the
+        #: parallel backend and cross-checked by the static
+        #: codec-coverage verifier (``repro.analysis.protocol``).
+        self.pickle_fallbacks: Dict[str, int] = {}
         # net-layer ARQ frames travel through worker bundles too; the
         # import is deferred here to keep repro.core free of a
         # module-level dependency on repro.net.
@@ -573,6 +686,19 @@ class MessageCodec:
 
         self._packet_cls = _Packet
         self._ack_cls = _Ack
+
+    def _note_fallback(self, type_name: str) -> None:
+        self.pickle_fallbacks[type_name] = (
+            self.pickle_fallbacks.get(type_name, 0) + 1
+        )
+        if type_name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(type_name)
+            warnings.warn(
+                f"MessageCodec: no field encoder for {type_name}; "
+                "falling back to pickle framing",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     # -- public API -----------------------------------------------------
     def encode(self, message: object) -> bytes:
@@ -630,6 +756,10 @@ class MessageCodec:
         if isinstance(message, AbortNotice):
             out += _ACTION_ID.pack(*message.action_id)
             return _TAG_ABORT_NOTICE, out
+        if isinstance(message, CommitNotice):
+            out += _I64.pack(message.pos)
+            out += _ACTION_ID.pack(*message.action_id)
+            return _TAG_COMMIT_NOTICE, out
         if isinstance(message, StateUpdate):
             self._w_written(out, message.values)
             self._w_optional_action_id(out, message.cause)
@@ -711,6 +841,72 @@ class MessageCodec:
             for action_id in message.resolved:
                 out += _ACTION_ID.pack(*action_id)
             return _TAG_HANDOFF_WELCOME, out
+        if isinstance(message, LoadReport):
+            out += _I64.pack(message.shard)
+            out += _I64.pack(message.round)
+            out += _F64.pack(message.cpu_ms)
+            out += _I64.pack(message.serialized)
+            out += _I64.pack(message.clients)
+            return _TAG_LOAD_REPORT, out
+        if isinstance(message, PartitionUpdate):
+            out += _I64.pack(message.version)
+            out += _U32.pack(len(message.boundaries))
+            for boundary in message.boundaries:
+                out += _F64.pack(boundary)
+            return _TAG_PARTITION_UPDATE, out
+        if isinstance(message, DrainDone):
+            out += _I64.pack(message.shard)
+            out += _I64.pack(message.version)
+            return _TAG_DRAIN_DONE, out
+        if isinstance(message, PartitionCommit):
+            out += _I64.pack(message.version)
+            return _TAG_PARTITION_COMMIT, out
+        if isinstance(message, RegionSync):
+            out += _I64.pack(message.version)
+            out += _F64.pack(message.lo)
+            out += _F64.pack(message.hi)
+            out += _U32.pack(len(message.entries))
+            for oid, gsn, local, attrs in message.entries:
+                self._w_str(out, oid)
+                out += _I64.pack(gsn)
+                out += _I64.pack(local)
+                out += _U32.pack(len(attrs))
+                for name, value in attrs:
+                    self._w_str(out, name)
+                    self._w_value(out, value)
+            return _TAG_REGION_SYNC, out
+        if isinstance(message, LeaseHeartbeat):
+            out += _I64.pack(message.term)
+            out += _I64.pack(message.holder)
+            return _TAG_LEASE_HEARTBEAT, out
+        if isinstance(message, LeaseRequest):
+            out += _I64.pack(message.term)
+            out += _I64.pack(message.candidate)
+            return _TAG_LEASE_REQUEST, out
+        if isinstance(message, LeaseVote):
+            out += _I64.pack(message.term)
+            out += _I64.pack(message.voter)
+            out += _I64.pack(message.max_gsn)
+            return _TAG_LEASE_VOTE, out
+        if isinstance(message, LeaseGrant):
+            out += _I64.pack(message.term)
+            out += _I64.pack(message.holder)
+            out += _I64.pack(message.gsn_floor)
+            return _TAG_LEASE_GRANT, out
+        if isinstance(message, ShardHello):
+            out += _I64.pack(message.shard)
+            return _TAG_SHARD_HELLO, out
+        if isinstance(message, ClientHello):
+            out += _I64.pack(message.client_id)
+            out += _F64.pack(message.radius)
+            if message.interests is None:
+                out.append(0)
+            else:
+                out.append(1)
+                out += _U32.pack(len(message.interests))
+                for interest in sorted(message.interests):
+                    self._w_str(out, interest)
+            return _TAG_CLIENT_HELLO, out
         if isinstance(message, self._packet_cls):
             out += _I64.pack(message.seq)
             out += _I64.pack(message.base)
@@ -723,6 +919,7 @@ class MessageCodec:
         if isinstance(message, self._ack_cls):
             out += _I64.pack(message.upto)
             return _TAG_ARQ_ACK, out
+        self._note_fallback(type(message).__name__)
         blob = self._pickle(message)
         out += blob
         return _TAG_PICKLED, out
@@ -758,6 +955,9 @@ class MessageCodec:
             return Completion(pos, action_id, self._r_result(r), reporter)
         if tag == _TAG_ABORT_NOTICE:
             return AbortNotice(ActionId(*r.unpack(_ACTION_ID)))
+        if tag == _TAG_COMMIT_NOTICE:
+            (pos,) = r.unpack(_I64)
+            return CommitNotice(pos, ActionId(*r.unpack(_ACTION_ID)))
         if tag == _TAG_STATE_UPDATE:
             values = self._r_written(r)
             cause = self._r_optional_action_id(r)
@@ -837,6 +1037,71 @@ class MessageCodec:
                 ActionId(*r.unpack(_ACTION_ID)) for _ in range(resolved_count)
             )
             return HandoffWelcome(shard, resolved)
+        if tag == _TAG_LOAD_REPORT:
+            (shard,) = r.unpack(_I64)
+            (round_,) = r.unpack(_I64)
+            (cpu_ms,) = r.unpack(_F64)
+            (serialized,) = r.unpack(_I64)
+            (clients,) = r.unpack(_I64)
+            return LoadReport(shard, round_, cpu_ms, serialized, clients)
+        if tag == _TAG_PARTITION_UPDATE:
+            (version,) = r.unpack(_I64)
+            (count,) = r.unpack(_U32)
+            boundaries = tuple(r.unpack(_F64)[0] for _ in range(count))
+            return PartitionUpdate(version, boundaries)
+        if tag == _TAG_DRAIN_DONE:
+            (shard,) = r.unpack(_I64)
+            (version,) = r.unpack(_I64)
+            return DrainDone(shard, version)
+        if tag == _TAG_PARTITION_COMMIT:
+            return PartitionCommit(r.unpack(_I64)[0])
+        if tag == _TAG_REGION_SYNC:
+            (version,) = r.unpack(_I64)
+            (lo,) = r.unpack(_F64)
+            (hi,) = r.unpack(_F64)
+            (count,) = r.unpack(_U32)
+            entries = []
+            for _ in range(count):
+                oid = self._r_str(r)
+                (gsn,) = r.unpack(_I64)
+                (local,) = r.unpack(_I64)
+                (attr_count,) = r.unpack(_U32)
+                attrs = tuple(
+                    (self._r_str(r), self._r_value(r))
+                    for _ in range(attr_count)
+                )
+                entries.append((oid, gsn, local, attrs))
+            return RegionSync(version, lo, hi, tuple(entries))
+        if tag == _TAG_LEASE_HEARTBEAT:
+            (term,) = r.unpack(_I64)
+            (holder,) = r.unpack(_I64)
+            return LeaseHeartbeat(term, holder)
+        if tag == _TAG_LEASE_REQUEST:
+            (term,) = r.unpack(_I64)
+            (candidate,) = r.unpack(_I64)
+            return LeaseRequest(term, candidate)
+        if tag == _TAG_LEASE_VOTE:
+            (term,) = r.unpack(_I64)
+            (voter,) = r.unpack(_I64)
+            (max_gsn,) = r.unpack(_I64)
+            return LeaseVote(term, voter, max_gsn)
+        if tag == _TAG_LEASE_GRANT:
+            (term,) = r.unpack(_I64)
+            (holder,) = r.unpack(_I64)
+            (gsn_floor,) = r.unpack(_I64)
+            return LeaseGrant(term, holder, gsn_floor)
+        if tag == _TAG_SHARD_HELLO:
+            return ShardHello(r.unpack(_I64)[0])
+        if tag == _TAG_CLIENT_HELLO:
+            (client_id,) = r.unpack(_I64)
+            (radius,) = r.unpack(_F64)
+            interests = None
+            if r.byte():
+                (interest_count,) = r.unpack(_U32)
+                interests = frozenset(
+                    self._r_str(r) for _ in range(interest_count)
+                )
+            return ClientHello(client_id, radius, interests)
         if tag == _TAG_ARQ_PACKET:
             (seq,) = r.unpack(_I64)
             (base,) = r.unpack(_I64)
@@ -874,6 +1139,7 @@ class MessageCodec:
             self._w_values(out, action._values)
             self._w_optional_action_id(out, action.origin)
         else:
+            self._note_fallback(type(action).__name__)
             blob = self._pickle(action)
             out.append(_ACT_PICKLED)
             out += _U32.pack(len(blob))

@@ -35,6 +35,7 @@ from repro.core.interest import is_consequential
 from repro.core.messages import (
     AbortNotice,
     ActionBatch,
+    CommitNotice,
     Completion,
     Heartbeat,
     OrderedAction,
@@ -109,6 +110,15 @@ class IncompleteServerStats:
     orphans_aborted: int = 0
     #: Closures deferred to preserve per-client pos-ascending delivery.
     closures_deferred: int = 0
+    #: Replies parked by the in-order delivery guard (reactive mode).
+    #: Conservation: every parked reply must eventually be answered
+    #: (pushed, blind-written from committed values, or retired with
+    #: its client) — ``replies_parked == replies_answered`` at
+    #: quiescence is the invariant that catches the PR 9
+    #: deferred-push replica gap mechanically.
+    replies_parked: int = 0
+    #: Parked replies later answered or retired (see replies_parked).
+    replies_answered: int = 0
 
 
 class IncompleteWorldServer:
@@ -217,11 +227,13 @@ class IncompleteWorldServer:
         #: Reactive replies deferred by the in-order delivery guard,
         #: per client; retried whenever the commit frontier advances.
         self._deferred_replies: Dict[ClientId, List[int]] = {}
-        #: Written ids of entries that committed while a reply to them
-        #: was still deferred — the retry answers from the committed
-        #: value instead of dropping the reply (the non-push replica
-        #: gap).  GC'd as the parked positions drain.
-        self._deferred_commits: Dict[int, frozenset] = {}
+        #: ``pos -> (action_id, written ids)`` of entries that committed
+        #: while a reply to them was still deferred — the retry answers
+        #: from the committed value instead of dropping the reply (the
+        #: non-push replica gap), and confirms the originator's pending
+        #: submission with a CommitNotice (its echo can never arrive).
+        #: GC'd as the parked positions drain.
+        self._deferred_commits: Dict[int, tuple] = {}
         network.register(self.server_id, self._on_message)
 
     # ------------------------------------------------------------------
@@ -255,7 +267,12 @@ class IncompleteWorldServer:
         """Unregister a failed/departed client."""
         self.clients.pop(client_id, None)
         self._last_heard.pop(client_id, None)
-        self._deferred_replies.pop(client_id, None)
+        retired = self._deferred_replies.pop(client_id, None)
+        if retired:
+            # A departed client's parked replies are retired, not
+            # dropped: count them answered so the parked/answered
+            # conservation invariant stays balanced at quiescence.
+            self.stats.replies_answered += len(retired)
         self.known.forget_client(client_id)
         # A departed client holds nothing: scrub it from sent(a) so a
         # later re-attach rebuilds full closures (entries "sent" into a
@@ -371,6 +388,7 @@ class IncompleteWorldServer:
         batch_entries, _ = self._closure_entries(client_id, entry)
         if batch_entries is None:
             self._deferred_replies.setdefault(client_id, []).append(entry.pos)
+            self.stats.replies_parked += 1
             return
         self._send_batch(client_id, batch_entries)
 
@@ -827,7 +845,10 @@ class IncompleteWorldServer:
                 # Someone's reactive reply to this entry is still
                 # parked; remember what it wrote so the retry can teach
                 # the committed values (see _retry_deferred_replies).
-                self._deferred_commits[entry.pos] = entry.completion.written_ids()
+                self._deferred_commits[entry.pos] = (
+                    entry.action.action_id,
+                    entry.completion.written_ids(),
+                )
             self.known.record_commit(
                 entry.pos, entry.completion.written_ids(), entry.sent
             )
@@ -857,6 +878,9 @@ class IncompleteWorldServer:
         """
         for client_id in list(self._deferred_replies):
             if client_id not in self.clients:
+                self.stats.replies_answered += len(
+                    self._deferred_replies[client_id]
+                )
                 del self._deferred_replies[client_id]
                 continue
             if not self.network.is_registered(client_id):
@@ -865,7 +889,8 @@ class IncompleteWorldServer:
             for pos in self._deferred_replies[client_id]:
                 if pos < self._base_pos:
                     # Committed meanwhile: reply from the committed value.
-                    written = self._deferred_commits.get(pos)
+                    record = self._deferred_commits.get(pos)
+                    action_id, written = record if record else (None, None)
                     seed_needed = (
                         self.known.filter_seed(client_id, written)
                         if written
@@ -881,15 +906,28 @@ class IncompleteWorldServer:
                         self.stats.blind_writes_sent += 1
                         self.stats.blind_objects_sent += len(seed_needed)
                         self._send_batch(client_id, [OrderedAction(-1, blind)])
+                    if action_id is not None and action_id.client_id == client_id:
+                        # The parked reply was to the entry's own
+                        # originator: its echo can never arrive (the
+                        # entry left the queue), so confirm the pending
+                        # submission explicitly or the client waits
+                        # forever.
+                        notice = CommitNotice(pos, action_id)
+                        self.network.send(
+                            self.server_id, client_id, notice, wire_size(notice)
+                        )
+                    self.stats.replies_answered += 1
                     continue
                 entry = self._entries[pos - self._base_pos]
                 if entry.valid is False or client_id in entry.sent:
+                    self.stats.replies_answered += 1
                     continue
                 batch_entries, _ = self._closure_entries(client_id, entry)
                 if batch_entries is None:
                     still.append(pos)
                 else:
                     self._send_batch(client_id, batch_entries)
+                    self.stats.replies_answered += 1
             if still:
                 self._deferred_replies[client_id] = still
             else:
@@ -903,8 +941,8 @@ class IncompleteWorldServer:
                 for pos in positions
             }
             self._deferred_commits = {
-                pos: written
-                for pos, written in self._deferred_commits.items()
+                pos: record
+                for pos, record in self._deferred_commits.items()
                 if pos in live
             }
 

@@ -599,6 +599,15 @@ class PartitionReplica:
             violation.render()
             for violation in (recorder.violations if recorder is not None else ())
         )
+        if self.obs is not None:
+            # Surface transport-codec pickle fallbacks as a metric so the
+            # static codec-coverage claim (repro.analysis.protocol) is
+            # cross-checked at runtime; zero fallbacks leaves the metrics
+            # registry untouched and the merged output byte-identical.
+            for type_name, count in sorted(self.codec.pickle_fallbacks.items()):
+                self.obs.metrics.counter(
+                    f"codec.pickle_fallback.{type_name}"
+                ).inc(count)
         detector = engine.detector
         detection: Tuple = ()
         quarantined: Tuple[ClientId, ...] = ()

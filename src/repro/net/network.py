@@ -160,6 +160,17 @@ class Network:
             Callable[[ClientId, ClientId, object, int, TimeMs, bool, int], None]
         ] = None
         self.remote_hosts: frozenset[ClientId] = frozenset()
+        #: Schedule-perturbation hook for the race explorer
+        #: (:mod:`repro.analysis.races`): ``(src, dst, payload, now) ->
+        #: extra delay ms`` consulted on every raw send (the perturber
+        #: filters by scope, e.g. backbone-only).  Any non-negative
+        #: delay is sound — per-link FIFO survives because
+        #: :meth:`Link.transmit` clamps arrivals to the link's last
+        #: arrival.  ``None`` (the default) costs nothing and is
+        #: byte-identical to no hook.
+        self.perturb: Optional[
+            Callable[[ClientId, ClientId, object, TimeMs], TimeMs]
+        ] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -419,6 +430,8 @@ class Network:
             dropped, extra_delay, duplicate = self.faults.decide(
                 src, dst, self.sim.now
             )
+        if self.perturb is not None:
+            extra_delay += self.perturb(src, dst, payload, self.sim.now)
 
         incarnation = self._incarnation.get(dst, 0)
 

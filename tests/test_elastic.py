@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.action import ActionId
 from repro.core.elastic import ElasticConfig, plan_boundaries, stripes_touching
 from repro.core.engine import SeveConfig
 from repro.core.sharded import (
@@ -375,7 +376,7 @@ def test_committed_deferred_reply_teaches_committed_values():
     # commit-time record _advance_frontier would have left behind.
     pos = server._base_pos - 1
     server._deferred_replies[target] = [pos]
-    server._deferred_commits[pos] = frozenset({oid})
+    server._deferred_commits[pos] = (ActionId(-9, 0), frozenset({oid}))
     sent_before = server.stats.blind_writes_sent
     server._retry_deferred_replies()
     assert server.stats.blind_writes_sent == sent_before + 1

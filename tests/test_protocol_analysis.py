@@ -1,0 +1,169 @@
+"""Self-test of the protocol conformance analyzer
+(docs/static_analysis.md).
+
+Mirrors test_lint.py's contracts for the protocol checks: (1) the
+known-bad corpus pair under tests/lint_corpus/protocol/ fires every
+rule in the catalogue exactly once, pinned per-rule and per-site;
+(2) the extracted flow graph matches the golden expected_graph.json
+byte for byte, so the JSON format consumed by tooling cannot drift
+silently; (3) the shipped tree is clean — every registered message has
+a handler, a codec branch, and a decode path, which is what lets
+scripts/test.sh fail CI on protocol drift; (4) the CLI front end wires
+the check up with the documented exit codes and the positional
+``protocol`` shorthand; (5) the baseline ratchet rejects stale
+suppressions instead of letting the baseline rot.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.protocol import PROTOCOL_RULES, analyze_paths, check_paths
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = REPO / "tests" / "lint_corpus" / "protocol"
+SCAN_ROOTS = [
+    REPO / "src" / "repro" / "core",
+    REPO / "src" / "repro" / "net",
+    REPO / "src" / "repro" / "baselines",
+]
+
+
+def test_corpus_fires_every_rule_exactly_once():
+    findings = check_paths([CORPUS], root=REPO)
+    histogram = Counter(f.rule for f in findings)
+    assert dict(histogram) == {rule: 1 for rule in PROTOCOL_RULES}
+
+
+def test_corpus_findings_point_at_the_seeded_sites():
+    findings = {f.rule: f for f in check_paths([CORPUS], root=REPO)}
+    messages_py = "tests/lint_corpus/protocol/proto_messages.py"
+    node_py = "tests/lint_corpus/protocol/proto_node.py"
+    assert findings["protocol-orphan"].path == messages_py
+    assert "Orphan" in findings["protocol-orphan"].message
+    assert findings["codec-fallback"].path == messages_py
+    assert "Legacy" in findings["codec-fallback"].message
+    assert findings["protocol-unregistered"].path == messages_py
+    assert "Rogue" in findings["protocol-unregistered"].message
+    assert findings["codec-decode-missing"].path == messages_py
+    assert "WriteOnly" in findings["codec-decode-missing"].message
+    assert findings["protocol-dead-handler"].path == node_py
+    assert "DeadEnd" in findings["protocol-dead-handler"].message
+    assert findings["protocol-unaccounted-send"].path == node_py
+    assert findings["protocol-unaccounted-handler"].path == node_py
+
+
+def test_corpus_flow_graph_matches_golden_file():
+    model = analyze_paths([CORPUS], root=REPO)
+    golden = json.loads((CORPUS / "expected_graph.json").read_text())
+    assert model.graph_dict() == golden
+
+
+def test_missing_registry_is_a_finding_not_a_pass(tmp_path):
+    (tmp_path / "plain.py").write_text("class NotAProtocol:\n    pass\n")
+    findings = check_paths([tmp_path])
+    assert [f.rule for f in findings] == ["protocol-unregistered"]
+    assert "no PROTOCOL_MESSAGES registry" in findings[0].message
+
+
+def test_shipped_protocol_is_conformant():
+    model = analyze_paths(SCAN_ROOTS, root=REPO)
+    assert model.findings == [], "\n".join(
+        f.render() for f in model.findings
+    )
+    assert model.definition_module == "src/repro/core/messages.py"
+    flows = model.flows
+    # Every message the engine relies on is present and fully wired.
+    for name in ("SubmitAction", "ActionBatch", "CommitNotice", "LeaseGrant"):
+        flow = flows[name]
+        assert flow.registered
+        assert flow.encoder_line is not None
+        assert flow.decoder_line is not None
+        assert flow.handlers, f"{name} has no dispatch branch"
+    # The elastic handoff messages are conservation-tracked.
+    assert flows["PartitionUpdate"].conservation == "elastic"
+    assert flows["DrainDone"].conservation == "elastic"
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_positional_shorthand_and_exit_codes():
+    clean = _run_cli("protocol", "--root", str(REPO), "--json")
+    assert clean.returncode == 0, clean.stderr
+    document = json.loads(clean.stdout)
+    assert document["checks"] == ["protocol"]
+    assert document["count"] == 0
+    assert document["stale"] == []
+
+    dirty = _run_cli("protocol", "--root", str(REPO), "--json", str(CORPUS))
+    assert dirty.returncode == 1
+    document = json.loads(dirty.stdout)
+    assert document["count"] == len(PROTOCOL_RULES)
+    assert {f["rule"] for f in document["findings"]} == set(PROTOCOL_RULES)
+
+    missing = _run_cli("protocol", "no/such/dir")
+    assert missing.returncode == 2
+
+
+def test_cli_all_includes_protocol():
+    result = _run_cli("--check", "all", "--root", str(REPO), "--json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    assert document["checks"] == ["determinism", "rwset", "protocol"]
+
+
+def test_cli_baseline_ratchet_rejects_stale_suppressions(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    # Accept the corpus findings, then confirm the baseline silences them.
+    wrote = _run_cli(
+        "protocol", str(CORPUS), "--root", str(REPO),
+        "--baseline", str(baseline), "--write-baseline",
+    )
+    assert wrote.returncode == 0, wrote.stderr
+    accepted = _run_cli(
+        "protocol", str(CORPUS), "--root", str(REPO),
+        "--baseline", str(baseline), "--json",
+    )
+    assert accepted.returncode == 0
+    assert json.loads(accepted.stdout)["baselined"] == len(PROTOCOL_RULES)
+
+    # A baseline entry for a finding that no longer exists must fail the
+    # run: the ratchet only shrinks.
+    entries = json.loads(baseline.read_text())
+    entries["findings"].append(
+        ["tests/lint_corpus/protocol/proto_messages.py", "codec-fallback", 1]
+    )
+    baseline.write_text(json.dumps(entries))
+    stale = _run_cli(
+        "protocol", str(CORPUS), "--root", str(REPO),
+        "--baseline", str(baseline), "--json",
+    )
+    assert stale.returncode == 1
+    document = json.loads(stale.stdout)
+    assert document["count"] == 0  # nothing fresh -- only the stale entry
+    assert document["stale"] == [
+        ["tests/lint_corpus/protocol/proto_messages.py", "codec-fallback", 1]
+    ]
+
+    # Entries outside the scanned paths or rule set are not "stale" --
+    # they simply were not re-checked this run.
+    entries["findings"] = [["src/unscanned/other.py", "codec-fallback", 9]]
+    baseline.write_text(json.dumps(entries))
+    unrelated = _run_cli(
+        "protocol", str(CORPUS), "--root", str(REPO),
+        "--baseline", str(baseline),
+    )
+    assert unrelated.returncode == 1  # corpus findings are fresh again
+    assert "stale suppression" not in unrelated.stderr
